@@ -1,0 +1,163 @@
+// Command tracedump records a persistent-queue run as a memory trace
+// and inspects it: per-kind event counts, the paper's insert-distance
+// tracing validation (§7), optional binary trace output, and an event
+// dump.
+//
+// Usage:
+//
+//	tracedump [-design cwl|2lc] [-policy ...] [-threads N] [-inserts N]
+//	          [-seed S] [-o trace.bin] [-dump N] [-replay trace.bin]
+//	          [-dot graph.dot] [-dot-model epoch]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/queue"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		designStr = flag.String("design", "cwl", "cwl or 2lc")
+		policyStr = flag.String("policy", "epoch", "strict|epoch|racing|strand")
+		threads   = flag.Int("threads", 4, "simulated threads")
+		inserts   = flag.Int("inserts", 1000, "total inserts")
+		seed      = flag.Int64("seed", 1, "interleaving seed")
+		out       = flag.String("o", "", "write the binary trace to this file")
+		dump      = flag.Int("dump", 0, "print the first N events")
+		replay    = flag.String("replay", "", "read a binary trace instead of running a workload")
+		dot       = flag.String("dot", "", "write the persist constraint graph (Graphviz) to this file")
+		dotModel  = flag.String("dot-model", "epoch", "persistency model for -dot")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err = trace.ReadAll(f)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		policy, err := parsePolicy(*policyStr)
+		if err != nil {
+			fatal(err)
+		}
+		design := queue.CWL
+		if *designStr == "2lc" {
+			design = queue.TwoLock
+		} else if *designStr != "cwl" {
+			fatal(fmt.Errorf("unknown design %q", *designStr))
+		}
+		tr, err = bench.Trace(bench.Workload{
+			Design: design, Policy: policy, Threads: *threads,
+			Inserts: *inserts, PayloadLen: 100, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Println("== trace summary ==")
+	fmt.Print(trace.Summarize(tr).String())
+
+	// The paper's §7 performance validation: distribution of insert
+	// distance (global completions between a thread's successive
+	// inserts) — used to argue tracing does not perturb interleaving.
+	distances := trace.WorkDistances(tr)
+	if len(distances) > 0 {
+		fmt.Println("\n== insert distance distribution (§7 validation) ==")
+		h := stats.NewHistogram(1, 2, 4, 8, 16, 32, 64)
+		h.AddAll(distances)
+		fmt.Print(h.String())
+		sum := stats.Summarize(stats.IntsToFloats(distances))
+		fmt.Printf("mean %.2f  p50 %.0f  p90 %.0f  max %.0f\n", sum.Mean, sum.P50, sum.P90, sum.Max)
+	}
+
+	fmt.Println("\n== persist critical path per model ==")
+	tbl := stats.NewTable("model", "critical-path", "placed", "coalesced")
+	for _, m := range core.Models {
+		r, err := core.Simulate(tr, core.Params{Model: m})
+		if err != nil {
+			fatal(err)
+		}
+		tbl.AddRow(m.String(), fmt.Sprint(r.CriticalPath), fmt.Sprint(r.Placed), fmt.Sprint(r.Coalesced))
+	}
+	fmt.Print(tbl.String())
+
+	if *dump > 0 {
+		fmt.Printf("\n== first %d events ==\n", *dump)
+		for i, e := range tr.Events {
+			if i >= *dump {
+				break
+			}
+			fmt.Println(e.String())
+		}
+	}
+
+	if *dot != "" {
+		var model core.Model
+		found := false
+		for _, m := range core.Models {
+			if m.String() == *dotModel {
+				model, found = m, true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown -dot-model %q", *dotModel))
+		}
+		g, err := graph.Build(tr, core.Params{Model: model})
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*dot, []byte(g.DOT("persists")), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d-node constraint graph (%v) to %s\n", g.Len(), model, *dot)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteAll(f, tr); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d events to %s\n", tr.Len(), *out)
+	}
+}
+
+func parsePolicy(s string) (queue.Policy, error) {
+	switch s {
+	case "strict":
+		return queue.PolicyStrict, nil
+	case "epoch":
+		return queue.PolicyEpoch, nil
+	case "racing":
+		return queue.PolicyRacingEpoch, nil
+	case "strand":
+		return queue.PolicyStrand, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// fsmeta: journaled file-system-style metadata updates — the paper's
+// other motivating workload ("file systems must constrain the order of
+// disk operations to metadata to preserve a consistent file system
+// image", §9) — built on internal/journal.
+//
+// A rename-like operation atomically updates two "inode" blocks (the
+// source and destination directories). The example crashes the system
+// at thousands of points under epoch persistency and verifies that
+// recovery never observes half a rename; then it demonstrates why the
+// racing-epochs discipline, safe for the queue, is NOT safe here.
+//
+// Run with: go run ./examples/fsmeta
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/journal"
+	"repro/internal/memory"
+	"repro/internal/observer"
+	"repro/internal/trace"
+)
+
+const (
+	dirs      = 3 // "directory inode" pairs
+	renames   = 6 // per thread
+	threads   = 3
+	ringBytes = 1 << 11 // small: forces checkpoint truncations
+)
+
+// runFS executes the rename workload under a policy and returns the
+// trace plus recovery metadata.
+func runFS(policy journal.Policy, seed int64) (*trace.Trace, journal.Meta) {
+	tr := &trace.Trace{}
+	m := exec.NewMachine(exec.Config{Threads: threads, Seed: seed, Sink: tr})
+	s := m.SetupThread()
+	st := journal.MustNew(s, journal.Config{
+		Blocks:       2 * dirs,
+		JournalBytes: ringBytes,
+		Policy:       policy,
+	})
+	meta := st.Meta()
+	m.Run(func(t *exec.Thread) {
+		for i := 0; i < renames; i++ {
+			// "Rename": the pair (2d, 2d+1) must change together.
+			d := t.TID() % dirs
+			tag := uint64(t.TID()*1000 + i + 1)
+			st.Update(t, []journal.Write{
+				{Block: 2 * d, Data: journal.MakeBlock(tag)},
+				{Block: 2*d + 1, Data: journal.MakeBlock(tag)},
+			})
+		}
+	})
+	return tr, meta
+}
+
+// atomicityCheck verifies no half-applied rename in a recovered image.
+func atomicityCheck(meta journal.Meta) func(*memory.Image) error {
+	return func(im *memory.Image) error {
+		state, err := journal.Recover(im, meta)
+		if err != nil {
+			return err
+		}
+		for d := 0; d < dirs; d++ {
+			t0, ok0 := journal.BlockTag(state.Block(2 * d))
+			t1, ok1 := journal.BlockTag(state.Block(2*d + 1))
+			if !ok0 || !ok1 {
+				return fmt.Errorf("directory %d: torn inode block", d)
+			}
+			if t0 != t1 {
+				return fmt.Errorf("directory %d: half a rename (tags %d, %d)", d, t0, t1)
+			}
+		}
+		return nil
+	}
+}
+
+// crashStorm samples crash states and reports the corruption count.
+func crashStorm(policy journal.Policy, seed int64) (corrupt, total int) {
+	tr, meta := runFS(policy, seed)
+	g, err := graph.Build(tr, core.Params{Model: core.Epoch})
+	if err != nil {
+		panic(err)
+	}
+	check := atomicityCheck(meta)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2500; i++ {
+		keep := []float64{0.2, 0.5, 0.8, 0.97}[i%4]
+		if err := check(g.Materialize(g.SampleCut(rng, keep))); err != nil {
+			corrupt++
+		}
+		total++
+	}
+	return corrupt, total
+}
+
+func main() {
+	fmt.Printf("journaled metadata: %d threads × %d renames, %dB ring (checkpoints occur)\n\n",
+		threads, renames, ringBytes)
+
+	c, n := crashStorm(journal.PolicyEpoch, 1)
+	fmt.Printf("epoch discipline         : %4d/%d crash states corrupt\n", c, n)
+
+	// The racing hazard's window is narrow (a truncation racing another
+	// thread's buffered applies); hunt across seeds with the observer.
+	var racingErr error
+	for seed := int64(0); seed < 16 && racingErr == nil; seed++ {
+		tr, meta := runFS(journal.PolicyRacingEpoch, seed)
+		racingErr, _ = observer.FindCorruption(tr, core.Params{Model: core.Epoch},
+			observer.RecoverFunc(atomicityCheck(meta)), observer.Config{Samples: 800, Seed: seed})
+	}
+	if racingErr != nil {
+		fmt.Printf("racing-epochs discipline : corruption reachable — %v\n", racingErr)
+	} else {
+		fmt.Println("racing-epochs discipline : no corruption sampled (rerun; the state is reachable)")
+	}
+
+	if c != 0 {
+		panic("BUG: epoch-annotated journal corrupted")
+	}
+	fmt.Println("\nthe queue tolerates racing epochs (strong persist atomicity guards")
+	fmt.Println("its head pointer), but the journal's checkpoint truncation needs the")
+	fmt.Println("barriers around the lock: relaxed annotation is a per-algorithm")
+	fmt.Println("contract, which is the paper's deeper point about persistency models.")
+}

@@ -1,0 +1,190 @@
+// kvstore: a persistent key-value store with atomic multi-key updates,
+// built directly on the persistency API (not on the queue) — showing
+// how epoch persistency orders an undo log the way the paper's §6
+// queue orders data before its head pointer.
+//
+// Layout (persistent):
+//
+//	slots:  N × 16 bytes of [key, value]
+//	undo:   a one-transaction undo log:
+//	        [count][ (slot, oldKey, oldValue) … ][commit flag]
+//
+// An update appends undo records, persist-barriers, flips the commit
+// flag on (log valid), barriers, applies the new values, barriers, and
+// clears the flag. Recovery rolls back a mid-flight transaction iff
+// the flag is set, so every crash state yields either the old or the
+// new values of a transaction — never a mix.
+//
+// The example verifies exactly that with the recovery observer, and
+// then demonstrates the negative: removing one barrier makes a torn
+// state reachable.
+//
+// Run with: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+const (
+	slotCount = 8
+	slotSize  = 16
+	undoMax   = 4
+)
+
+// store is the persistent KV layout.
+type store struct {
+	slots  memory.Addr // slotCount × [key, value]
+	undo   memory.Addr // [count][undoMax × (slot, oldKey, oldVal)]
+	commit memory.Addr // flag word
+	// barriers toggles the undo-log ordering barriers (negative test).
+	barriers bool
+}
+
+func newStore(s *exec.Thread, barriers bool) *store {
+	st := &store{
+		slots:    s.MallocPersistent(slotCount*slotSize, 64),
+		undo:     s.MallocPersistent(8+undoMax*24, 64),
+		commit:   s.MallocPersistent(8, 64),
+		barriers: barriers,
+	}
+	s.PersistBarrier()
+	return st
+}
+
+func (st *store) barrier(t *exec.Thread) {
+	if st.barriers {
+		t.PersistBarrier()
+	}
+}
+
+// update atomically sets several slot/value pairs.
+func (st *store) update(t *exec.Thread, pairs map[int]uint64) {
+	// 1. Write undo records.
+	i := 0
+	for slot := range pairs {
+		rec := st.undo + 8 + memory.Addr(i*24)
+		a := st.slots + memory.Addr(slot*slotSize)
+		t.Store8(rec, uint64(slot))
+		t.Store8(rec+8, t.Load8(a))
+		t.Store8(rec+16, t.Load8(a+8))
+		i++
+	}
+	t.Store8(st.undo, uint64(len(pairs)))
+	st.barrier(t) // undo records before the commit flag
+	// 2. Arm the log.
+	t.Store8(st.commit, 1)
+	st.barrier(t) // flag before in-place updates
+	// 3. Apply in place.
+	for slot, val := range pairs {
+		a := st.slots + memory.Addr(slot*slotSize)
+		t.Store8(a, uint64(slot)) // key
+		t.Store8(a+8, val)
+	}
+	st.barrier(t) // updates before disarming
+	// 4. Disarm.
+	t.Store8(st.commit, 0)
+	// 5. Transaction-end barrier. Without it the *next* transaction's
+	// undo records persist concurrently with this disarm, and a crash
+	// can expose flag=1 alongside a half-overwritten undo log — a torn
+	// rollback. (This run's earlier revision hit exactly that state;
+	// the observer caught it. Epoch persistency demands the barrier.)
+	st.barrier(t)
+}
+
+// recoverStore applies the undo log of a crashed image and returns the
+// table.
+func recoverStore(im *memory.Image, slots, undo, commit memory.Addr) map[uint64]uint64 {
+	vals := make(map[uint64]uint64)
+	read := func(i int) (k, v uint64) {
+		a := slots + memory.Addr(i*slotSize)
+		return im.ReadWord(a), im.ReadWord(a + 8)
+	}
+	table := make(map[int][2]uint64)
+	for i := 0; i < slotCount; i++ {
+		k, v := read(i)
+		table[i] = [2]uint64{k, v}
+	}
+	if im.ReadWord(commit) == 1 {
+		// Mid-flight transaction: roll back.
+		n := im.ReadWord(undo)
+		for i := uint64(0); i < n && i < undoMax; i++ {
+			rec := undo + 8 + memory.Addr(i*24)
+			slot := im.ReadWord(rec)
+			table[int(slot)] = [2]uint64{im.ReadWord(rec + 8), im.ReadWord(rec + 16)}
+		}
+	}
+	for _, kv := range table {
+		if kv[0] != 0 || kv[1] != 0 {
+			vals[kv[0]] = kv[1]
+		}
+	}
+	return vals
+}
+
+// consistent checks that every committed transaction is all-or-nothing:
+// after txn j sets slots {1,2} to j*100+slot, a recovered state must
+// show both slots from the same transaction (or both untouched).
+func consistent(vals map[uint64]uint64) bool {
+	v1, ok1 := vals[1]
+	v2, ok2 := vals[2]
+	if !ok1 && !ok2 {
+		return true
+	}
+	if ok1 != ok2 {
+		return false
+	}
+	return v2-v1 == 1 // txn j writes j*100+1 and j*100+2
+}
+
+func run(withBarriers bool) (torn int, total int) {
+	tr := &trace.Trace{}
+	m := exec.NewMachine(exec.Config{Threads: 1, Seed: 5, Sink: tr})
+	s := m.SetupThread()
+	st := newStore(s, withBarriers)
+	m.Run(func(t *exec.Thread) {
+		for j := uint64(1); j <= 6; j++ {
+			st.update(t, map[int]uint64{1: j*100 + 1, 2: j*100 + 2})
+		}
+	})
+	g, err := graph.Build(tr, core.Params{Model: core.Epoch})
+	if err != nil {
+		panic(err)
+	}
+	// Enumerate a large random sample of crash states.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		cut := g.SampleCut(rng, []float64{0.2, 0.5, 0.8, 0.97}[i%4])
+		vals := recoverStore(g.Materialize(cut), st.slots, st.undo, st.commit)
+		total++
+		if !consistent(vals) {
+			torn++
+		}
+	}
+	return torn, total
+}
+
+func main() {
+	torn, total := run(true)
+	fmt.Printf("with undo-log barriers   : %d/%d crash states torn\n", torn, total)
+	tornNo, totalNo := run(false)
+	fmt.Printf("without barriers         : %d/%d crash states torn\n", tornNo, totalNo)
+	if torn != 0 {
+		panic("BUG: correctly annotated store tore a transaction")
+	}
+	if tornNo == 0 {
+		fmt.Println("\n(note: no torn state sampled this run without barriers — rerun")
+		fmt.Println(" with another seed; the state is reachable, sampling is random)")
+	} else {
+		fmt.Println("\nthe persist barriers are load-bearing: without them, epoch")
+		fmt.Println("persistency lets the in-place updates persist before the undo")
+		fmt.Println("log, and a crash exposes a torn multi-key transaction.")
+	}
+}

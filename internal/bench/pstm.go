@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/pstm"
+	"repro/internal/stats"
+)
+
+// Durable-transaction (pstm) workload harness: persist concurrency of
+// undo-log transactions under each annotation discipline.
+
+// PSTMRow is one row of the pstm persist-concurrency table.
+type PSTMRow struct {
+	Policy     pstm.Policy
+	Threads    int
+	Result     core.Result
+	PathPerTxn float64
+}
+
+// PSTMModelFor maps pstm policies to their target models.
+func PSTMModelFor(p pstm.Policy) core.Model {
+	switch p {
+	case pstm.PolicyStrict:
+		return core.Strict
+	case pstm.PolicyStrand:
+		return core.Strand
+	default:
+		return core.Epoch
+	}
+}
+
+// PSTMTable evaluates persist concurrency of paired-word durable
+// transactions (racing excluded: unsafe for this structure).
+func PSTMTable(txns int, threads []int, seed int64) ([]PSTMRow, error) {
+	if txns <= 0 {
+		txns = 1000
+	}
+	if len(threads) == 0 {
+		threads = []int{1, 4}
+	}
+	var rows []PSTMRow
+	for _, th := range threads {
+		for _, pol := range pstm.Policies {
+			if pol == pstm.PolicyRacingEpoch {
+				continue
+			}
+			sim, err := core.NewSim(core.Params{Model: PSTMModelFor(pol)})
+			if err != nil {
+				return nil, err
+			}
+			m := exec.NewMachine(exec.Config{Threads: th, Seed: seed, Sink: sim})
+			s := m.SetupThread()
+			h, err := pstm.New(s, pstm.Config{Words: 2 * th, UndoCap: 8, Policy: pol})
+			if err != nil {
+				return nil, err
+			}
+			per := txns / th
+			m.Run(func(t *exec.Thread) {
+				for i := 0; i < per; i++ {
+					id := uint64(t.TID())<<32 | uint64(i)
+					t.BeginWork(id)
+					h.Atomic(t, func(tx *pstm.Tx) {
+						v := uint64(i + 1)
+						tx.Store(t.TID()*2, v)
+						tx.Store(t.TID()*2+1, v)
+					})
+					t.EndWork(id)
+				}
+			})
+			if err := sim.Err(); err != nil {
+				return nil, err
+			}
+			r := sim.Result()
+			rows = append(rows, PSTMRow{Policy: pol, Threads: th, Result: r, PathPerTxn: r.PathPerWork()})
+		}
+	}
+	return rows, nil
+}
+
+// RenderPSTM formats the pstm table.
+func RenderPSTM(rows []PSTMRow) *stats.Table {
+	t := stats.NewTable("policy", "threads", "critical-path", "path/txn", "coalesced")
+	for _, r := range rows {
+		t.AddRow(
+			r.Policy.String(), fmt.Sprint(r.Threads),
+			fmt.Sprint(r.Result.CriticalPath),
+			fmt.Sprintf("%.2f", r.PathPerTxn),
+			fmt.Sprint(r.Result.Coalesced),
+		)
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// synthTrace builds a synthetic mixed trace for simulator throughput
+// measurement.
+func synthTrace(n int) *trace.Trace {
+	rng := rand.New(rand.NewSource(1))
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		tid := int32(i % 4)
+		switch rng.Intn(10) {
+		case 0:
+			tr.Emit(trace.Event{TID: tid, Kind: trace.PersistBarrier})
+		case 1:
+			tr.Emit(trace.Event{TID: tid, Kind: trace.Load, Addr: memory.PersistentBase + memory.Addr(rng.Intn(1<<12)*8), Size: 8})
+		case 2, 3:
+			tr.Emit(trace.Event{TID: tid, Kind: trace.Store, Addr: memory.VolatileBase + memory.Addr(rng.Intn(64)*8), Size: 8, Val: 1})
+		default:
+			tr.Emit(trace.Event{TID: tid, Kind: trace.Store, Addr: memory.PersistentBase + memory.Addr(rng.Intn(1<<12)*8), Size: 8, Val: 1})
+		}
+	}
+	return tr
+}
+
+// BenchmarkSimFeed measures event-processing throughput per model.
+func BenchmarkSimFeed(b *testing.B) {
+	tr := synthTrace(10000)
+	for _, m := range Models {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(tr, Params{Model: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Len()), "events/run")
+		})
+	}
+}
+
+// BenchmarkCtxMerge measures the dependence-context lattice.
+func BenchmarkCtxMerge(b *testing.B) {
+	a := Ctx{Lvl: 10, Src: 3, Lvl2: 7}
+	c := Ctx{Lvl: 9, Src: 5, Lvl2: 8}
+	for i := 0; i < b.N; i++ {
+		a = merge(a, c)
+	}
+	_ = a
+}

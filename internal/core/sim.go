@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Sim is the persist-timing simulator (§7 "Persist Timing Simulation").
+// It consumes one SC-ordered trace event at a time — it implements
+// trace.Sink, so it can observe an internal/exec run live, and several
+// Sims (one per model) can share one execution through a trace.Tee.
+//
+// Per the paper: "Persist times are tracked per address (both
+// persistent and volatile) as well as per thread according to the
+// persistency model. ... [E]ach persist occurs after or coalesces with
+// the most recent persists observed through (1) each load operand, (2)
+// the last store to the address being overwritten, and (3) any persists
+// observed by previous instructions on the same thread", with
+// load-before-store conflicts additionally tracked to realize SC rather
+// than TSO conflict ordering. "Persists' ability to coalesce is
+// similarly propagated through memory and thread state."
+type Sim struct {
+	params Params
+	spec   spec
+
+	threads map[int32]*threadState
+	blocks  map[memory.BlockID]*blockState
+	// atoms tracks each atomic block's open (most recent) persist: its
+	// level, and the global placement sequence when it opened (for the
+	// finite coalescing window).
+	atoms map[memory.BlockID]openPersist
+
+	res Result
+	err error
+	// lastWorkPath is the critical path at the previous EndWork (for
+	// Params.TrackWorkPath).
+	lastWorkPath int64
+}
+
+// openPersist is an atomic block's most recent NVRAM write: candidates
+// coalesce into it while it is still buffered.
+type openPersist struct {
+	lvl int64
+	seq int64 // global placement number when opened
+}
+
+// threadState is the per-thread dependence state.
+type threadState struct {
+	// active holds dependences that bind new persists immediately:
+	// under strict persistency everything lands here; under epoch and
+	// strand persistency it advances only at persist barriers.
+	active Ctx
+	// pending holds conflict-observed dependences within the current
+	// epoch; they bind persists only after the next barrier (§5.2:
+	// same-epoch persists after a conflicting load are *not* ordered —
+	// the "astonishing" semantics racing epochs exploit).
+	pending Ctx
+	// epochMax accumulates levels of persists issued in the current
+	// epoch; program order across a barrier orders them before the next
+	// epoch's persists.
+	epochMax Ctx
+}
+
+// blockState is the per-tracking-block dependence state.
+type blockState struct {
+	// writer is the persist context made visible by stores to this
+	// block: a conflicting later access is ordered after these persists.
+	writer Ctx
+	// reader accumulates contexts of threads that loaded this block
+	// since the last store; a subsequent store conflicts with those
+	// loads (load-before-store, the SC-vs-TSO distinction).
+	reader Ctx
+	// lastP is the most recent persist to this tracking block (level +
+	// atomic block): strong persist atomicity orders same-block persists
+	// under every model, and coarse tracking makes this false sharing.
+	lastP Ctx
+}
+
+// NewSim constructs a simulator; Params are validated here.
+func NewSim(p Params) (*Sim, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	return &Sim{
+		params:  p,
+		spec:    p.Model.spec(),
+		threads: make(map[int32]*threadState),
+		blocks:  make(map[memory.BlockID]*blockState),
+		atoms:   make(map[memory.BlockID]openPersist),
+		res:     Result{Model: p.Model, Params: p},
+	}, nil
+}
+
+// MustNewSim is NewSim for static parameters.
+func MustNewSim(p Params) *Sim {
+	s, err := NewSim(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Err returns the first event-processing error, if any.
+func (s *Sim) Err() error { return s.err }
+
+// Result finalizes and returns the simulation outcome.
+func (s *Sim) Result() Result { return s.res }
+
+// Emit implements trace.Sink.
+func (s *Sim) Emit(e trace.Event) {
+	if s.err != nil {
+		return
+	}
+	if err := s.Feed(e); err != nil {
+		s.err = err
+	}
+}
+
+func (s *Sim) thread(tid int32) *threadState {
+	t, ok := s.threads[tid]
+	if !ok {
+		t = &threadState{active: zeroCtx, pending: zeroCtx, epochMax: zeroCtx}
+		s.threads[tid] = t
+	}
+	return t
+}
+
+func (s *Sim) block(b memory.BlockID) *blockState {
+	bs, ok := s.blocks[b]
+	if !ok {
+		bs = &blockState{writer: zeroCtx, reader: zeroCtx, lastP: zeroCtx}
+		s.blocks[b] = bs
+	}
+	return bs
+}
+
+// Feed processes one event in SC order.
+func (s *Sim) Feed(e trace.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	s.res.Events++
+	switch e.Kind {
+	case trace.Load:
+		s.load(e)
+	case trace.Store, trace.RMW:
+		// An RMW has load semantics too, but its store semantics absorb
+		// a superset of what the load would (reader and writer contexts
+		// both), so one path covers it.
+		if memory.IsPersistent(e.Addr) {
+			s.persist(e)
+		} else {
+			s.volatileStore(e)
+		}
+	case trace.PersistBarrier:
+		if s.spec.barriers {
+			s.barrier(s.thread(e.TID))
+		}
+	case trace.NewStrand:
+		if s.spec.strands {
+			t := s.thread(e.TID)
+			t.active, t.pending, t.epochMax = zeroCtx, zeroCtx, zeroCtx
+		}
+	case trace.PersistSync:
+		// Buffered strict persistency's sync (§4.1): execution waits for
+		// all of the thread's outstanding persists, so everything the
+		// thread has observed binds immediately under every model.
+		t := s.thread(e.TID)
+		s.barrier(t)
+		s.res.Syncs++
+	case trace.EndWork:
+		s.res.WorkItems++
+		if s.params.TrackWorkPath {
+			s.res.WorkPathDeltas = append(s.res.WorkPathDeltas, s.res.CriticalPath-s.lastWorkPath)
+			s.lastWorkPath = s.res.CriticalPath
+		}
+	case trace.BeginWork, trace.Malloc, trace.Free:
+		// No ordering significance. (Reusing freed persistent memory
+		// legitimately inherits the old block's persist state: addresses
+		// are physical.)
+	default:
+		return fmt.Errorf("core: unhandled event kind %v", e.Kind)
+	}
+	return nil
+}
+
+// barrier folds the epoch state into the active dependence set.
+func (s *Sim) barrier(t *threadState) {
+	t.active = mergeAll(t.active, t.pending, t.epochMax)
+	t.pending = zeroCtx
+	t.epochMax = zeroCtx
+}
+
+// trackingBlocks iterates the tracking blocks spanned by an access.
+func (s *Sim) trackingBlocks(e trace.Event, fn func(*blockState)) {
+	first, last := memory.BlockSpan(e.Addr, int(e.Size), s.params.TrackingGranularity)
+	for b := first; b <= last; b++ {
+		fn(s.block(b))
+	}
+}
+
+// load propagates the writer context of each touched block into the
+// thread (immediately under strict, pending-until-barrier otherwise)
+// and records the reader context for later load-before-store conflicts.
+func (s *Sim) load(e trace.Event) {
+	if !s.spec.volatileConflicts && !memory.IsPersistent(e.Addr) {
+		return
+	}
+	t := s.thread(e.TID)
+	s.trackingBlocks(e, func(bs *blockState) {
+		if s.spec.immediate {
+			t.active = merge(t.active, bs.writer)
+		} else {
+			t.pending = merge(t.pending, bs.writer)
+		}
+		if s.spec.loadBeforeStore {
+			bs.reader = merge(bs.reader, t.active)
+		}
+	})
+}
+
+// volatileStore handles stores and RMWs to the volatile space: they
+// create no persist but conflict with earlier accesses, propagating
+// persist ordering through memory (this is how lock-protected persists
+// become ordered across threads under strict and non-racing epoch).
+func (s *Sim) volatileStore(e trace.Event) {
+	if !s.spec.volatileConflicts {
+		return
+	}
+	t := s.thread(e.TID)
+	s.trackingBlocks(e, func(bs *blockState) {
+		inherit := merge(bs.writer, bs.reader)
+		if s.spec.immediate {
+			t.active = merge(t.active, inherit)
+		} else {
+			t.pending = merge(t.pending, inherit)
+		}
+		// Export: what later conflicting accesses are ordered after.
+		// Prior writer/reader contexts stay folded in for transitivity.
+		bs.writer = mergeAll(bs.writer, bs.reader, t.active)
+		bs.reader = zeroCtx
+	})
+}
+
+// persist handles stores and RMWs to the persistent space. Each atomic
+// block fragment of the access is one persist operation; it coalesces
+// with the open persist of its atomic block when every dependence not
+// already part of that open persist is strictly older, else it is
+// placed at a new level.
+func (s *Sim) persist(e trace.Event) {
+	t := s.thread(e.TID)
+
+	// Gather the dependence context across all spanned tracking blocks,
+	// and remember them for the post-placement update.
+	dep := t.active
+	var touched []*blockState
+	s.trackingBlocks(e, func(bs *blockState) {
+		dep = mergeAll(dep, bs.writer, bs.reader, bs.lastP)
+		touched = append(touched, bs)
+	})
+
+	// Place (or coalesce) one persist per spanned atomic block.
+	firstA, lastA := memory.BlockSpan(e.Addr, int(e.Size), s.params.AtomicGranularity)
+	placedCtx := zeroCtx
+	for ab := firstA; ab <= lastA; ab++ {
+		s.res.Persists++
+		open, isOpen := s.atoms[ab]
+		stillBuffered := isOpen &&
+			(s.params.CoalesceWindow == 0 || s.res.Placed-open.seq <= s.params.CoalesceWindow)
+		var lvl int64
+		if !s.params.NoCoalescing && stillBuffered && dep.Excluding(ab) < open.lvl {
+			// Coalesce: the write joins the open persist of this atomic
+			// block; every other dependence persists strictly earlier.
+			lvl = open.lvl
+			s.res.Coalesced++
+		} else {
+			lvl = dep.Lvl + 1
+			if isOpen && open.lvl >= lvl {
+				lvl = open.lvl + 1
+			}
+			s.res.Placed++
+			s.atoms[ab] = openPersist{lvl: lvl, seq: s.res.Placed}
+			if lvl > s.res.CriticalPath {
+				s.res.CriticalPath = lvl
+			}
+		}
+		placedCtx = merge(placedCtx, persistCtx(lvl, ab))
+	}
+
+	// The thread observes its own persist: immediately under strict
+	// (program order orders subsequent persists), at the next barrier
+	// under epoch/strand.
+	if s.spec.immediate {
+		t.active = merge(t.active, placedCtx)
+	} else {
+		t.epochMax = merge(t.epochMax, placedCtx)
+		t.pending = merge(t.pending, dep)
+	}
+
+	// Update the tracking blocks. The placed persist was ordered after
+	// every dependence the block carried, so it alone is the block's
+	// new dependence frontier — keeping the context single-sourced,
+	// which maximizes later same-block coalescing (the head-pointer
+	// coalescing the paper notes in §6).
+	for _, bs := range touched {
+		bs.writer = placedCtx
+		bs.reader = zeroCtx
+		bs.lastP = placedCtx
+	}
+}
+
+// Simulate runs a complete in-memory trace through a fresh simulator.
+func Simulate(tr *trace.Trace, p Params) (Result, error) {
+	s, err := NewSim(p)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, e := range tr.Events {
+		if err := s.Feed(e); err != nil {
+			return Result{}, err
+		}
+	}
+	return s.Result(), nil
+}
+
+// SimulateAll runs one trace through every model in Models with shared
+// granularity parameters, returning results in Models order.
+func SimulateAll(tr *trace.Trace, base Params) ([]Result, error) {
+	out := make([]Result, 0, len(Models))
+	for _, m := range Models {
+		p := base
+		p.Model = m
+		r, err := Simulate(tr, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

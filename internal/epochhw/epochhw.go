@@ -1,0 +1,271 @@
+// Package epochhw models the cache-hierarchy hardware the paper
+// sketches for epoch persistency (§5.2 "Implementation"), following
+// BPFS's design: each thread buffers its in-flight persist epochs in
+// the cache; every cache line carries a tag identifying the last
+// thread and epoch to persist to it; and an access that hits a line
+// belonging to another thread's (or an older own) in-flight epoch
+// forces those epochs to drain to NVRAM, in order, before execution
+// proceeds.
+//
+// The module turns the paper's claim — that such hardware *enforces*
+// the persistency model — into a testable statement: feeding a trace
+// through the hardware produces a concrete NVRAM write order, and the
+// differential tests check that this order satisfies every constraint
+// of the abstract EpochTSO model (BPFS hardware detects conflicts only
+// on the persistent address space and only through its line tags, i.e.
+// TSO-style — exactly the EpochTSO ablation in internal/core).
+//
+// A hardware buffer generation is not one-to-one with a software
+// epoch: a conflict can force the current epoch to drain mid-way, and
+// its remaining persists then occupy a fresh buffer generation. That
+// split is legal — persists within an epoch are unordered — but the
+// generations must drain in order, so threads track them with a
+// monotonic uid.
+package epochhw
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Config describes the hardware.
+type Config struct {
+	// LineBytes is the cache line size: the granularity of epoch tags
+	// and thus of hardware conflict detection. Power of two ≥ 8;
+	// 0 means 64 (the usual line size, also what BPFS assumes).
+	LineBytes uint64
+}
+
+// Write is one NVRAM write issued by the hardware: a drained cache
+// line version carrying the trace events coalesced into it.
+type Write struct {
+	// Seqs are the trace sequence numbers of the persists merged into
+	// this line write (same line, same buffer generation), in trace
+	// order.
+	Seqs []uint64
+	// TID identifies the owning thread.
+	TID int32
+}
+
+// Result reports a hardware run.
+type Result struct {
+	// Writes is the NVRAM write sequence, in drain order.
+	Writes []Write
+	// ForcedDrains counts conflict-triggered generation flushes.
+	ForcedDrains int
+	// EpochsDrained counts buffer generations written back.
+	EpochsDrained int
+	// Coalesced counts persists merged into an already-buffered line.
+	Coalesced int
+}
+
+// DrainPos returns a map from trace seq to position in the write
+// order; persists coalesced into one line write share a position.
+func (r Result) DrainPos() map[uint64]int {
+	pos := make(map[uint64]int)
+	for i, w := range r.Writes {
+		for _, s := range w.Seqs {
+			pos[s] = i
+		}
+	}
+	return pos
+}
+
+// lineTag marks the last in-flight buffer generation to persist to a
+// line.
+type lineTag struct {
+	tid int32
+	uid int
+}
+
+// hwEpoch is one buffered generation: its dirty lines in write order.
+type hwEpoch struct {
+	uid   int
+	order []memory.BlockID
+	lines map[memory.BlockID]*Write
+	// openSeq orders generations globally for the final drain.
+	openSeq int
+}
+
+// hwThread is one core's buffer-generation queue.
+type hwThread struct {
+	tid     int32
+	nextUID int
+	openUID int        // uid of the open generation, or -1
+	queue   []*hwEpoch // in-flight generations, oldest first
+	drained int        // generations with uid <= drained left the cache
+}
+
+// Cache is the simulated epoch-ordering hardware. Feed it a trace in
+// SC order; Finish drains the remainder.
+type Cache struct {
+	cfg     Config
+	tags    map[memory.BlockID]lineTag
+	threads map[int32]*hwThread
+	res     Result
+	opens   int
+}
+
+// New builds the hardware simulator.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 64
+	}
+	if !memory.IsPowerOfTwo(cfg.LineBytes) || cfg.LineBytes < memory.WordSize {
+		return nil, fmt.Errorf("epochhw: bad line size %d", cfg.LineBytes)
+	}
+	return &Cache{
+		cfg:     cfg,
+		tags:    make(map[memory.BlockID]lineTag),
+		threads: make(map[int32]*hwThread),
+	}, nil
+}
+
+func (c *Cache) thread(tid int32) *hwThread {
+	t, ok := c.threads[tid]
+	if !ok {
+		t = &hwThread{tid: tid, openUID: -1, drained: -1}
+		c.threads[tid] = t
+	}
+	return t
+}
+
+// openEpoch returns the thread's open buffer generation, creating one
+// if the previous generation was closed by a barrier or forced drain.
+func (c *Cache) openEpoch(t *hwThread) *hwEpoch {
+	if t.openUID >= 0 {
+		return t.queue[len(t.queue)-1]
+	}
+	e := &hwEpoch{uid: t.nextUID, lines: make(map[memory.BlockID]*Write), openSeq: c.opens}
+	t.nextUID++
+	t.openUID = e.uid
+	c.opens++
+	t.queue = append(t.queue, e)
+	return e
+}
+
+// drainThrough writes back t's in-flight generations with uid ≤ upto,
+// oldest first.
+func (c *Cache) drainThrough(t *hwThread, upto int, forced bool) {
+	for len(t.queue) > 0 && t.queue[0].uid <= upto {
+		e := t.queue[0]
+		t.queue = t.queue[1:]
+		for _, line := range e.order {
+			c.res.Writes = append(c.res.Writes, *e.lines[line])
+		}
+		c.res.EpochsDrained++
+		if forced {
+			c.res.ForcedDrains++
+		}
+		if e.uid > t.drained {
+			t.drained = e.uid
+		}
+		if t.openUID == e.uid {
+			t.openUID = -1 // the current epoch drained mid-way
+		}
+	}
+	if upto > t.drained {
+		t.drained = upto
+	}
+}
+
+// resolveConflict enforces the BPFS rule: touching a line that belongs
+// to another thread's — or an older own — in-flight generation drains
+// those generations first.
+func (c *Cache) resolveConflict(line memory.BlockID, t *hwThread, isStore bool) {
+	tag, dirty := c.tags[line]
+	if !dirty {
+		return
+	}
+	owner := c.thread(tag.tid)
+	if tag.uid <= owner.drained {
+		return // already clean
+	}
+	if tag.tid == t.tid {
+		// Same thread: a store into a line dirty in an older generation
+		// would merge two generations in one line version; drain the
+		// older ones first. (A load of one's own dirty line just hits;
+		// a store into the open generation coalesces.)
+		if isStore && tag.uid != t.openUID {
+			c.drainThrough(owner, tag.uid, true)
+		}
+		return
+	}
+	c.drainThrough(owner, tag.uid, true)
+}
+
+// Feed processes one trace event. Volatile traffic is invisible to the
+// hardware (BPFS tracks only the persistent address space).
+func (c *Cache) Feed(e trace.Event) error {
+	switch e.Kind {
+	case trace.PersistBarrier, trace.PersistSync, trace.NewStrand:
+		// The hardware implements barriers; strands fall back to
+		// barrier behavior (no strand hardware exists; §5.3 calls
+		// efficient strand tracking an open research challenge).
+		c.thread(e.TID).openUID = -1
+		return nil
+	case trace.Load, trace.Store, trace.RMW:
+		if !memory.IsPersistent(e.Addr) {
+			return nil
+		}
+	default:
+		return nil
+	}
+	t := c.thread(e.TID)
+	first, last := memory.BlockSpan(e.Addr, int(e.Size), c.cfg.LineBytes)
+	for line := first; line <= last; line++ {
+		c.resolveConflict(line, t, e.Kind.HasStoreSemantics())
+		if !e.Kind.HasStoreSemantics() {
+			continue
+		}
+		ep := c.openEpoch(t)
+		if w, ok := ep.lines[line]; ok {
+			// Same line, same generation: coalesce in the cache.
+			w.Seqs = append(w.Seqs, e.Seq)
+			c.res.Coalesced++
+			continue
+		}
+		w := &Write{Seqs: []uint64{e.Seq}, TID: e.TID}
+		ep.lines[line] = w
+		ep.order = append(ep.order, line)
+		c.tags[line] = lineTag{tid: e.TID, uid: ep.uid}
+	}
+	return nil
+}
+
+// Finish drains all remaining in-flight generations (globally by
+// generation age, a legal completion order) and returns the result.
+func (c *Cache) Finish() Result {
+	for {
+		var best *hwThread
+		for _, t := range c.threads {
+			if len(t.queue) == 0 {
+				continue
+			}
+			if best == nil || t.queue[0].openSeq < best.queue[0].openSeq {
+				best = t
+			}
+		}
+		if best == nil {
+			break
+		}
+		c.drainThrough(best, best.queue[0].uid, false)
+	}
+	return c.res
+}
+
+// Run feeds an entire trace and finishes.
+func Run(tr *trace.Trace, cfg Config) (Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, e := range tr.Events {
+		if err := c.Feed(e); err != nil {
+			return Result{}, err
+		}
+	}
+	return c.Finish(), nil
+}

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// BenchmarkDirectOps measures raw simulated-memory operation throughput
+// on a setup thread (no scheduler handoff, no sink).
+func BenchmarkDirectOps(b *testing.B) {
+	m := NewMachine(Config{})
+	s := m.SetupThread()
+	a := s.MallocPersistent(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Store8(a, uint64(i))
+	}
+}
+
+// BenchmarkScheduledOps measures operation throughput including the
+// cooperative scheduler handoff, across 4 threads.
+func BenchmarkScheduledOps(b *testing.B) {
+	m := NewMachine(Config{Threads: 4, Seed: 1})
+	s := m.SetupThread()
+	a := s.MallocVolatile(64, 64)
+	per := b.N/4 + 1
+	b.ResetTimer()
+	m.Run(func(t *Thread) {
+		for i := 0; i < per; i++ {
+			t.Store8(a+8, uint64(i))
+		}
+	})
+}
+
+// BenchmarkTracedOps includes trace capture.
+func BenchmarkTracedOps(b *testing.B) {
+	tr := &trace.Trace{}
+	m := NewMachine(Config{Sink: tr})
+	s := m.SetupThread()
+	a := s.MallocPersistent(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Store8(a, uint64(i))
+	}
+}
+
+// BenchmarkStoreBytes measures entry-copy throughput (the queue's inner
+// loop).
+func BenchmarkStoreBytes(b *testing.B) {
+	m := NewMachine(Config{})
+	s := m.SetupThread()
+	a := s.MallocPersistent(256, 64)
+	payload := make([]byte, 100)
+	b.SetBytes(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StoreBytes(a, payload)
+	}
+}

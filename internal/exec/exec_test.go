@@ -1,0 +1,287 @@
+package exec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+func TestSetupThreadBasics(t *testing.T) {
+	m := NewMachine(Config{})
+	s := m.SetupThread()
+	a := s.MallocPersistent(64, 64)
+	s.Store8(a, 0x1234)
+	if got := s.Load8(a); got != 0x1234 {
+		t.Fatalf("Load8 = %#x", got)
+	}
+	if m.Ops() != 3 { // malloc + store + load
+		t.Fatalf("Ops = %d", m.Ops())
+	}
+}
+
+func TestSubWordAccess(t *testing.T) {
+	m := NewMachine(Config{})
+	s := m.SetupThread()
+	a := s.MallocVolatile(64, 64)
+	s.Store8(a, 0x1122334455667788)
+	if got := s.Load(a, 4); got != 0x55667788 {
+		t.Fatalf("4-byte load = %#x", got)
+	}
+	if got := s.Load(a+4, 4); got != 0x11223344 {
+		t.Fatalf("high 4-byte load = %#x", got)
+	}
+	s.Store(a+2, 2, 0xbeef)
+	if got := s.Load8(a); got != 0x11223344beef7788 {
+		t.Fatalf("after 2-byte store = %#x", got)
+	}
+	s.Store(a+7, 1, 0xcc)
+	if got := s.Load(a+7, 1); got != 0xcc {
+		t.Fatalf("1-byte = %#x", got)
+	}
+}
+
+func TestWordBoundaryCrossing(t *testing.T) {
+	m := NewMachine(Config{})
+	s := m.SetupThread()
+	a := s.MallocVolatile(64, 64)
+	// A 4-byte store at offset 6 crosses into the second word.
+	s.Store(a+6, 4, 0xaabbccdd)
+	if got := s.Load(a+6, 4); got != 0xaabbccdd {
+		t.Fatalf("crossing load = %#x", got)
+	}
+	if got := s.Load8(a + 8); got&0xffff != 0xaabb {
+		t.Fatalf("second word low bytes = %#x", got)
+	}
+}
+
+func TestStoreLoadBytes(t *testing.T) {
+	m := NewMachine(Config{Sink: &trace.Trace{}})
+	tr := &trace.Trace{}
+	m.sink = tr
+	s := m.SetupThread()
+	a := s.MallocPersistent(256, 64)
+	msg := []byte("the quick brown fox jumps over the lazy dog, twice over!")
+	s.StoreBytes(a+3, msg) // unaligned start
+	out := make([]byte, len(msg))
+	s.LoadBytes(a+3, out)
+	if !bytes.Equal(msg, out) {
+		t.Fatalf("round trip: %q", out)
+	}
+	// Every emitted access must be a power-of-two size ≤ 8 and must not
+	// cross a word boundary misaligned for its size... (sizes 1,2,4,8).
+	for _, e := range tr.Events {
+		if !e.Kind.IsAccess() {
+			continue
+		}
+		if e.Size != 1 && e.Size != 2 && e.Size != 4 && e.Size != 8 {
+			t.Fatalf("non-power-of-two access size %d", e.Size)
+		}
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	tr := &trace.Trace{}
+	m := NewMachine(Config{Sink: tr})
+	s := m.SetupThread()
+	a := s.MallocVolatile(8, 8)
+	if !s.CAS8(a, 0, 5) {
+		t.Fatal("CAS from zero should succeed")
+	}
+	if s.CAS8(a, 0, 9) {
+		t.Fatal("CAS with stale expectation should fail")
+	}
+	if got := s.Load8(a); got != 5 {
+		t.Fatalf("value = %d", got)
+	}
+	kinds := []trace.Kind{}
+	for _, e := range tr.Events {
+		if e.Kind.IsAccess() {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	want := []trace.Kind{trace.RMW, trace.Load, trace.Load}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("access kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestSwapAndAdd(t *testing.T) {
+	m := NewMachine(Config{})
+	s := m.SetupThread()
+	a := s.MallocVolatile(8, 8)
+	if old := s.Swap8(a, 7); old != 0 {
+		t.Fatalf("Swap8 old = %d", old)
+	}
+	if old := s.Swap8(a, 9); old != 7 {
+		t.Fatalf("Swap8 old = %d", old)
+	}
+	if v := s.Add8(a, 3); v != 12 {
+		t.Fatalf("Add8 = %d", v)
+	}
+}
+
+func TestRunConcurrentCounter(t *testing.T) {
+	const threads, perThread = 4, 200
+	m := NewMachine(Config{Threads: threads, Seed: 1})
+	s := m.SetupThread()
+	ctr := s.MallocVolatile(8, 8)
+	m.Run(func(th *Thread) {
+		for i := 0; i < perThread; i++ {
+			for { // CAS loop increment
+				old := th.Load8(ctr)
+				if th.CAS8(ctr, old, old+1) {
+					break
+				}
+			}
+		}
+	})
+	if got := m.SetupThread().Load8(ctr); got != threads*perThread {
+		t.Fatalf("counter = %d, want %d", got, threads*perThread)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	run := func(seed int64) *trace.Trace {
+		tr := &trace.Trace{}
+		m := NewMachine(Config{Threads: 3, Seed: seed, Sink: tr})
+		s := m.SetupThread()
+		shared := s.MallocPersistent(64, 64)
+		m.Run(func(th *Thread) {
+			for i := 0; i < 50; i++ {
+				th.Add8(shared, uint64(th.TID()+1))
+				th.PersistBarrier()
+			}
+		})
+		return tr
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("same seed must reproduce identical traces")
+	}
+	c := run(43)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds should interleave differently")
+	}
+}
+
+func TestRunInterleaves(t *testing.T) {
+	tr := &trace.Trace{}
+	m := NewMachine(Config{Threads: 2, Seed: 7, Slice: 4, Sink: tr})
+	s := m.SetupThread()
+	a := s.MallocVolatile(16, 8)
+	m.Run(func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.Store8(a+memory.Addr(8*th.TID()), uint64(i))
+		}
+	})
+	// The trace must contain events from both threads, interleaved (not
+	// one thread fully before the other).
+	firstTID := tr.Events[1].TID // skip the setup malloc at index 0
+	switched := false
+	for _, e := range tr.Events[1:] {
+		if e.TID != firstTID {
+			switched = true
+			break
+		}
+	}
+	if !switched {
+		t.Fatal("threads did not interleave")
+	}
+	if got := trace.Summarize(tr).Threads; got != 2 {
+		t.Fatalf("threads in trace = %d", got)
+	}
+}
+
+func TestSliceBoundsInterleaving(t *testing.T) {
+	// With slice 1 every operation is a scheduling point; the run must
+	// still produce correct results.
+	m := NewMachine(Config{Threads: 3, Seed: 9, Slice: 1})
+	s := m.SetupThread()
+	ctr := s.MallocVolatile(8, 8)
+	m.Run(func(th *Thread) {
+		for i := 0; i < 30; i++ {
+			th.Add8(ctr, 1)
+		}
+	})
+	if got := m.SetupThread().Load8(ctr); got != 90 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestAnnotationsTraced(t *testing.T) {
+	tr := &trace.Trace{}
+	m := NewMachine(Config{Sink: tr})
+	s := m.SetupThread()
+	s.PersistBarrier()
+	s.NewStrand()
+	s.PersistSync()
+	s.BeginWork(5)
+	s.EndWork(5)
+	sum := trace.Summarize(tr)
+	if sum.Barriers != 1 || sum.Strands != 1 || sum.WorkItems != 1 {
+		t.Fatalf("annotations missing: %+v", sum)
+	}
+	if sum.ByKind[trace.PersistSync] != 1 {
+		t.Fatal("persist sync missing")
+	}
+}
+
+func TestFreeHeap(t *testing.T) {
+	tr := &trace.Trace{}
+	m := NewMachine(Config{Sink: tr})
+	s := m.SetupThread()
+	p := s.MallocPersistent(64, 64)
+	v := s.MallocVolatile(64, 64)
+	s.FreeHeap(p)
+	s.FreeHeap(v)
+	if m.PerHeap.LiveCount() != 0 || m.VolHeap.LiveCount() != 0 {
+		t.Fatal("allocations not freed")
+	}
+	if got := trace.Summarize(tr).ByKind[trace.Free]; got != 2 {
+		t.Fatalf("free events = %d", got)
+	}
+}
+
+func TestPersistentImage(t *testing.T) {
+	m := NewMachine(Config{})
+	s := m.SetupThread()
+	p := s.MallocPersistent(64, 64)
+	v := s.MallocVolatile(64, 64)
+	s.Store8(p, 123)
+	s.Store8(v, 456)
+	im := m.PersistentImage()
+	if im.ReadWord(p) != 123 {
+		t.Fatal("persistent word missing from image")
+	}
+	if len(im.WrittenWords()) != 1 {
+		t.Fatal("volatile data leaked into persistent image")
+	}
+}
+
+func TestMaxOpsGuard(t *testing.T) {
+	m := NewMachine(Config{MaxOps: 10})
+	s := m.SetupThread()
+	a := s.MallocVolatile(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxOps should panic")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s.Store8(a, 1)
+	}
+}
+
+func TestUnmappedAccessPanics(t *testing.T) {
+	m := NewMachine(Config{})
+	s := m.SetupThread()
+	defer func() {
+		if recover() == nil {
+			t.Error("unmapped access should panic")
+		}
+	}()
+	s.Load8(0x10)
+}

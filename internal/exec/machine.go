@@ -1,0 +1,286 @@
+// Package exec is the reproduction's stand-in for the paper's PIN-based
+// tracing framework (§7).
+//
+// The paper traces native pthread benchmarks with PIN, using a bank of
+// locks to guarantee analysis atomicity so that "the traced memory order
+// ... accurately reflect[s] execution's memory order"; the resulting
+// trace observes sequential consistency. We achieve the same guarantee
+// by construction: simulated threads are goroutines scheduled
+// cooperatively, one memory operation at a time, by a seeded scheduler.
+// Every operation appends one event to the trace sink, so the trace
+// *is* the SC memory order. The seed varies thread interleavings the
+// way rerunning a native benchmark would.
+//
+// Simulated programs perform all shared-state communication through the
+// Machine's simulated memory (Thread's Load/Store/CAS/... operations).
+// Plain Go variables captured by a workload closure must be thread-local.
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Consistency selects the simulated machine's memory consistency
+// model. The paper builds its persistency models on SC (§5) but
+// discusses strict persistency over relaxed consistency in §4.1; the
+// PSO mode makes that discussion executable.
+type Consistency uint8
+
+const (
+	// SC is sequential consistency: every operation becomes visible in
+	// the order executed (the default, and the paper's base model).
+	SC Consistency = iota
+	// PSO is a partial-store-order-style relaxed model: stores enter a
+	// per-thread store buffer and drain to visible memory in a random
+	// (seeded) order; loads forward from the issuing thread's buffer;
+	// RMWs and Fence drain the buffer. Store visibility can therefore
+	// reorder within a thread — exactly the hazard of Figure 1 — while
+	// loads still execute in program order and store atomicity holds.
+	PSO
+)
+
+// String names the consistency model.
+func (c Consistency) String() string {
+	switch c {
+	case SC:
+		return "sc"
+	case PSO:
+		return "pso"
+	default:
+		return fmt.Sprintf("consistency(%d)", uint8(c))
+	}
+}
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// Threads is the number of simulated threads Run will spawn.
+	Threads int
+	// Seed drives the scheduler's interleaving choices. Equal seeds and
+	// workloads produce byte-identical traces.
+	Seed int64
+	// Slice is the maximum number of operations a thread executes per
+	// scheduling quantum. Zero means DefaultSlice. A slice of 1
+	// interleaves at single-instruction granularity.
+	Slice int
+	// Sink receives the event stream; nil means trace.Discard.
+	Sink trace.Sink
+	// MaxOps aborts (panics) runaway workloads; zero means no limit.
+	MaxOps uint64
+	// Consistency selects SC (default) or PSO store visibility.
+	Consistency Consistency
+	// StoreBuffer caps the PSO per-thread store buffer; zero means 8.
+	StoreBuffer int
+}
+
+// DefaultSlice is the default scheduling quantum in operations. Small
+// enough to exercise fine interleavings, large enough to amortize
+// scheduler handoffs.
+const DefaultSlice = 8
+
+// Machine is a simulated shared-memory multiprocessor with volatile and
+// persistent address spaces. Create one with NewMachine, set up shared
+// state through SetupThread, then execute a workload with Run. A
+// Machine is single-use: after Run returns, read results out of the
+// simulated memory with SetupThread and discard the Machine.
+type Machine struct {
+	cfg  Config
+	sink trace.Sink
+	rng  *rand.Rand
+
+	// words stores memory contents keyed by 8-byte-aligned address.
+	words map[memory.Addr]uint64
+
+	// PerHeap and VolHeap allocate from the persistent and volatile
+	// spaces. They are exported for direct inspection; allocation during
+	// simulation should go through Thread.MallocPersistent/Volatile so
+	// the trace records it.
+	PerHeap *memory.Heap
+	VolHeap *memory.Heap
+
+	ops     uint64
+	running bool
+	yield   chan yieldMsg
+	threads []*Thread
+}
+
+type yieldMsg struct {
+	tid    int32
+	exited bool
+}
+
+// NewMachine creates a machine per cfg.
+func NewMachine(cfg Config) *Machine {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Slice <= 0 {
+		cfg.Slice = DefaultSlice
+	}
+	sink := cfg.Sink
+	if sink == nil {
+		sink = trace.Discard
+	}
+	return &Machine{
+		cfg:     cfg,
+		sink:    sink,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		words:   make(map[memory.Addr]uint64),
+		PerHeap: memory.NewHeap(memory.Persistent),
+		VolHeap: memory.NewHeap(memory.Volatile),
+		yield:   make(chan yieldMsg, cfg.Threads+1),
+	}
+}
+
+// Ops returns the number of trace operations executed so far.
+func (m *Machine) Ops() uint64 { return m.ops }
+
+// SetupThread returns a Thread bound to TID 0 that executes directly on
+// the caller's goroutine. Use it before Run to allocate and initialize
+// shared structures (those events belong in the trace: initialization
+// persists are real persists) and after Run to read results back. It
+// must not be used while Run is in progress.
+func (m *Machine) SetupThread() *Thread {
+	if m.running {
+		panic("exec: SetupThread while Run is in progress")
+	}
+	return &Thread{m: m, tid: 0, direct: true}
+}
+
+// Workload is the body executed by each simulated thread.
+type Workload func(t *Thread)
+
+// Run spawns cfg.Threads simulated threads executing body and returns
+// when all have finished. The caller's goroutine acts as the scheduler.
+func (m *Machine) Run(body Workload) {
+	if m.running {
+		panic("exec: concurrent Run")
+	}
+	m.running = true
+	defer func() { m.running = false }()
+
+	m.threads = m.threads[:0]
+	for i := 0; i < m.cfg.Threads; i++ {
+		t := &Thread{
+			m:     m,
+			tid:   int32(i),
+			grant: make(chan int, 1),
+		}
+		m.threads = append(m.threads, t)
+	}
+	for _, t := range m.threads {
+		t := t
+		go func() {
+			defer func() {
+				// The exiting thread still owns the machine (its exit
+				// yield has not been sent), so its buffered stores can
+				// drain safely.
+				t.drainAll()
+				m.yield <- yieldMsg{tid: t.tid, exited: true}
+			}()
+			body(t)
+		}()
+	}
+	m.schedule()
+}
+
+// schedule runs the cooperative scheduler until every thread exits.
+// Exactly one thread executes operations at any time, so the emitted
+// event order is a sequentially consistent total order.
+func (m *Machine) schedule() {
+	live := len(m.threads)
+	runnable := make([]*Thread, len(m.threads))
+	copy(runnable, m.threads)
+	active := int32(-1)
+	for live > 0 {
+		if active == -1 && len(runnable) > 0 {
+			t := runnable[m.rng.Intn(len(runnable))]
+			active = t.tid
+			t.grant <- m.cfg.Slice
+		}
+		msg := <-m.yield
+		if msg.exited {
+			live--
+			for i, t := range runnable {
+				if t.tid == msg.tid {
+					runnable = append(runnable[:i], runnable[i+1:]...)
+					break
+				}
+			}
+		}
+		if msg.tid == active {
+			active = -1
+		}
+	}
+}
+
+// emit validates, counts, and forwards one event.
+func (m *Machine) emit(e trace.Event) {
+	if err := e.Validate(); err != nil {
+		panic(fmt.Sprintf("exec: workload produced invalid event: %v", err))
+	}
+	m.ops++
+	if m.cfg.MaxOps != 0 && m.ops > m.cfg.MaxOps {
+		panic(fmt.Sprintf("exec: exceeded MaxOps=%d; runaway workload?", m.cfg.MaxOps))
+	}
+	m.sink.Emit(e)
+}
+
+// loadRaw reads size bytes at a from simulated memory (little-endian).
+// Accesses may cross word boundaries; they are assembled bytewise.
+func (m *Machine) loadRaw(a memory.Addr, size int) uint64 {
+	if _, err := memory.CheckRange(a, size); err != nil {
+		panic("exec: " + err.Error())
+	}
+	w := memory.AlignDown(a, memory.WordSize)
+	if a == w && size == memory.WordSize {
+		return m.words[w]
+	}
+	var buf [2 * memory.WordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], m.words[w])
+	binary.LittleEndian.PutUint64(buf[8:], m.words[w+memory.WordSize])
+	off := int(a - w)
+	var out [memory.WordSize]byte
+	copy(out[:], buf[off:off+size])
+	return binary.LittleEndian.Uint64(out[:])
+}
+
+// storeRaw writes the low size bytes of v at a (little-endian).
+func (m *Machine) storeRaw(a memory.Addr, size int, v uint64) {
+	if _, err := memory.CheckRange(a, size); err != nil {
+		panic("exec: " + err.Error())
+	}
+	w := memory.AlignDown(a, memory.WordSize)
+	if a == w && size == memory.WordSize {
+		m.words[w] = v
+		return
+	}
+	var buf [2 * memory.WordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], m.words[w])
+	binary.LittleEndian.PutUint64(buf[8:], m.words[w+memory.WordSize])
+	var src [memory.WordSize]byte
+	binary.LittleEndian.PutUint64(src[:], v)
+	off := int(a - w)
+	copy(buf[off:off+size], src[:size])
+	m.words[w] = binary.LittleEndian.Uint64(buf[0:])
+	if off+size > memory.WordSize {
+		m.words[w+memory.WordSize] = binary.LittleEndian.Uint64(buf[8:])
+	}
+}
+
+// PersistentImage captures current persistent-space contents as an
+// Image (the "no failure" final state). The observer compares recovered
+// states against prefixes of this.
+func (m *Machine) PersistentImage() *memory.Image {
+	im := memory.NewImage()
+	for a, w := range m.words {
+		if memory.IsPersistent(a) && w != 0 {
+			im.WriteWord(a, w)
+		}
+	}
+	return im
+}

@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+func TestPSOSetupThreadUnaffected(t *testing.T) {
+	m := NewMachine(Config{Consistency: PSO})
+	s := m.SetupThread()
+	a := s.MallocVolatile(64, 64)
+	s.Store8(a, 7)
+	if got := s.Load8(a); got != 7 {
+		t.Fatalf("setup thread must be SC: %d", got)
+	}
+}
+
+func TestPSOSelfCoherence(t *testing.T) {
+	// A thread always reads its own latest store (drain-on-overlap).
+	m := NewMachine(Config{Threads: 1, Seed: 1, Consistency: PSO})
+	s := m.SetupThread()
+	a := s.MallocVolatile(64, 64)
+	m.Run(func(th *Thread) {
+		for i := uint64(0); i < 50; i++ {
+			th.Store8(a, i)
+			th.Store8(a+8, i*2)
+			if th.Load8(a) != i || th.Load8(a+8) != i*2 {
+				panic("self-coherence violated")
+			}
+		}
+	})
+}
+
+func TestPSOFinalMemoryCorrect(t *testing.T) {
+	// All buffered stores drain by the end of Run; final memory matches
+	// program semantics regardless of drain order.
+	m := NewMachine(Config{Threads: 2, Seed: 3, Consistency: PSO})
+	s := m.SetupThread()
+	a := s.MallocPersistent(256, 64)
+	m.Run(func(th *Thread) {
+		base := a + memory.Addr(th.TID()*128)
+		for i := uint64(0); i < 16; i++ {
+			th.Store8(base+memory.Addr(8*(i%8)), i+100)
+		}
+	})
+	s = m.SetupThread()
+	for tid := 0; tid < 2; tid++ {
+		for w := uint64(0); w < 8; w++ {
+			want := w + 8 + 100 // last write wins: i = w+8
+			if got := s.Load8(a + memory.Addr(tid*128+int(w)*8)); got != want {
+				t.Fatalf("t%d word %d = %d, want %d", tid, w, got, want)
+			}
+		}
+	}
+}
+
+func TestPSOReordersStoreVisibility(t *testing.T) {
+	// With some seed, two stores issued in program order must appear in
+	// the trace (visibility order) reversed.
+	reordered := false
+	for seed := int64(0); seed < 20 && !reordered; seed++ {
+		tr := &trace.Trace{}
+		m := NewMachine(Config{Threads: 1, Seed: seed, Consistency: PSO, Sink: tr})
+		s := m.SetupThread()
+		a := s.MallocPersistent(64, 64)
+		m.Run(func(th *Thread) {
+			th.Store8(a, 1)
+			th.Store8(a+8, 2)
+		})
+		var order []uint64
+		for _, e := range tr.Events {
+			if e.Kind == trace.Store && memory.IsPersistent(e.Addr) {
+				order = append(order, e.Val)
+			}
+		}
+		if len(order) != 2 {
+			t.Fatalf("stores in trace: %v", order)
+		}
+		reordered = order[0] == 2
+	}
+	if !reordered {
+		t.Fatal("PSO never reordered store visibility across 20 seeds")
+	}
+}
+
+func TestPSOFenceOrders(t *testing.T) {
+	// With a fence between them, the stores always appear in order.
+	for seed := int64(0); seed < 20; seed++ {
+		tr := &trace.Trace{}
+		m := NewMachine(Config{Threads: 1, Seed: seed, Consistency: PSO, Sink: tr})
+		s := m.SetupThread()
+		a := s.MallocPersistent(64, 64)
+		m.Run(func(th *Thread) {
+			th.Store8(a, 1)
+			th.Fence()
+			th.Store8(a+8, 2)
+		})
+		var order []uint64
+		for _, e := range tr.Events {
+			if e.Kind == trace.Store && memory.IsPersistent(e.Addr) {
+				order = append(order, e.Val)
+			}
+		}
+		if !reflect.DeepEqual(order, []uint64{1, 2}) {
+			t.Fatalf("seed %d: fenced stores out of order: %v", seed, order)
+		}
+	}
+}
+
+func TestPSOAtomicsDrain(t *testing.T) {
+	// An RMW acts as a fence: earlier stores are visible before it.
+	tr := &trace.Trace{}
+	m := NewMachine(Config{Threads: 1, Seed: 2, Consistency: PSO, Sink: tr})
+	s := m.SetupThread()
+	a := s.MallocVolatile(64, 64)
+	m.Run(func(th *Thread) {
+		th.Store8(a, 1)
+		th.Store8(a+8, 2)
+		th.Add8(a+16, 3)
+	})
+	// The RMW must appear after both stores in the trace.
+	rmwSeen := false
+	stores := 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.RMW:
+			rmwSeen = true
+			if stores != 2 {
+				t.Fatalf("RMW drained only %d stores first", stores)
+			}
+		case trace.Store:
+			if rmwSeen {
+				t.Fatal("store drained after the RMW")
+			}
+			stores++
+		}
+	}
+}
+
+func TestPSOWriteMerging(t *testing.T) {
+	// Repeated stores to the same word merge in the buffer: fewer store
+	// events than issues.
+	tr := &trace.Trace{}
+	m := NewMachine(Config{Threads: 1, Seed: 4, Consistency: PSO, Sink: tr, Slice: 100})
+	s := m.SetupThread()
+	a := s.MallocVolatile(64, 64)
+	m.Run(func(th *Thread) {
+		for i := uint64(0); i < 20; i++ {
+			th.Store8(a, i)
+		}
+	})
+	n := 0
+	var last uint64
+	for _, e := range tr.Events {
+		if e.Kind == trace.Store && e.Addr == a {
+			n++
+			last = e.Val
+		}
+	}
+	if n >= 20 {
+		t.Fatalf("no write merging: %d store events", n)
+	}
+	if last != 19 {
+		t.Fatalf("final drained value %d", last)
+	}
+}
+
+func TestPSODeterminism(t *testing.T) {
+	run := func() *trace.Trace {
+		tr := &trace.Trace{}
+		m := NewMachine(Config{Threads: 3, Seed: 11, Consistency: PSO, Sink: tr})
+		s := m.SetupThread()
+		a := s.MallocPersistent(256, 64)
+		m.Run(func(th *Thread) {
+			for i := uint64(0); i < 20; i++ {
+				th.Store8(a+memory.Addr(th.TID()*64), i)
+				if i%5 == 0 {
+					th.Fence()
+				}
+			}
+		})
+		return tr
+	}
+	if !reflect.DeepEqual(run().Events, run().Events) {
+		t.Fatal("PSO runs with equal seeds must be identical")
+	}
+}
+
+func TestPSOLocksStillExclude(t *testing.T) {
+	// The fenced locks provide mutual exclusion under PSO; exercised
+	// indirectly: unfenced increments under the lock must not be lost.
+	// (The locks package has its own SC tests; this drives PSO.)
+	m := NewMachine(Config{Threads: 4, Seed: 9, Consistency: PSO})
+	s := m.SetupThread()
+	word := s.MallocVolatile(8, 8)
+	lockWord := s.MallocVolatile(8, 8)
+	m.Run(func(th *Thread) {
+		for i := 0; i < 50; i++ {
+			for { // TAS-style acquire: CAS drains buffers
+				if th.CAS8(lockWord, 0, 1) {
+					break
+				}
+				th.Yield()
+			}
+			v := th.Load8(word)
+			th.Store8(word, v+1)
+			th.Fence() // release fence
+			th.Store8(lockWord, 0)
+		}
+	})
+	if got := m.SetupThread().Load8(word); got != 200 {
+		t.Fatalf("lost updates under PSO: %d", got)
+	}
+}
+
+func TestFenceNoOpUnderSC(t *testing.T) {
+	tr := &trace.Trace{}
+	m := NewMachine(Config{Sink: tr})
+	s := m.SetupThread()
+	s.Fence()
+	if m.Ops() != 0 || tr.Len() != 0 {
+		t.Fatal("Fence under SC should cost nothing")
+	}
+}
+
+func TestConsistencyString(t *testing.T) {
+	if SC.String() != "sc" || PSO.String() != "pso" || Consistency(9).String() == "" {
+		t.Fatal("consistency names")
+	}
+}

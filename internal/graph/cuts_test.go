@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+func chainGraph(n int) *Graph {
+	var b tb
+	for i := 0; i < n; i++ {
+		b.store(0, paddr(uint64(i)), uint64(i+1))
+	}
+	g, err := Build(&b.tr, core.Params{Model: core.Strict})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestFullAndEmptyCuts(t *testing.T) {
+	g := chainGraph(5)
+	if !g.Valid(g.Full()) || g.Full().Size() != 5 {
+		t.Fatal("full cut invalid")
+	}
+	if !g.Valid(g.Empty()) || g.Empty().Size() != 0 {
+		t.Fatal("empty cut invalid")
+	}
+}
+
+func TestValidRejectsNonClosedCut(t *testing.T) {
+	g := chainGraph(3)
+	c := g.Empty()
+	c.Included[2] = true // include the chain tail without its ancestors
+	if g.Valid(c) {
+		t.Fatal("non-downward-closed cut accepted")
+	}
+	if g.Valid(Cut{Included: []bool{true}}) {
+		t.Fatal("wrong-length cut accepted")
+	}
+}
+
+func TestChainCutsArePrefixes(t *testing.T) {
+	g := chainGraph(4)
+	// A strict chain has exactly n+1 consistent cuts: the prefixes.
+	if got := g.CountCuts(); got != 5 {
+		t.Fatalf("chain cuts = %d, want 5", got)
+	}
+	g.EnumerateCuts(func(c Cut) bool {
+		// Every enumerated cut must be valid and a prefix.
+		if !g.Valid(c) {
+			t.Fatal("enumerated invalid cut")
+		}
+		seenFalse := false
+		for _, in := range c.Included {
+			if !in {
+				seenFalse = true
+			} else if seenFalse {
+				t.Fatalf("non-prefix cut on a chain: %v", c.Included)
+			}
+		}
+		return true
+	})
+}
+
+func TestIndependentNodesCutCount(t *testing.T) {
+	// Two unsynchronized threads with 2 persists each (to distinct
+	// addresses): cuts = prefixes per thread = 3 × 3.
+	var b tb
+	b.store(0, paddr(0), 1)
+	b.store(0, paddr(1), 2)
+	b.store(1, paddr(10), 3)
+	b.store(1, paddr(11), 4)
+	g := mustBuild(t, &b.tr, core.Params{Model: core.Strict})
+	if got := g.CountCuts(); got != 9 {
+		t.Fatalf("independent cuts = %d, want 9", got)
+	}
+	// Epoch with no barriers: all four persists mutually unordered
+	// within each thread too -> 2^2 per thread? No: same thread persists
+	// share an epoch, concurrent: every subset is consistent -> 16.
+	ge := mustBuild(t, &b.tr, core.Params{Model: core.Epoch})
+	if got := ge.CountCuts(); got != 16 {
+		t.Fatalf("epoch cuts = %d, want 16", got)
+	}
+}
+
+func TestSampleCutAlwaysValid(t *testing.T) {
+	var b tb
+	for i := uint64(0); i < 10; i++ {
+		tid := int32(i % 2)
+		b.store(tid, paddr(i), i)
+		if i%2 == 0 {
+			b.barrier(tid)
+		}
+		b.store(tid, paddr(0), i)
+	}
+	g := mustBuild(t, &b.tr, core.Params{Model: core.Epoch})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		keep := rng.Float64()
+		c := g.SampleCut(rng, keep)
+		if !g.Valid(c) {
+			t.Fatalf("sampled invalid cut (keep=%f)", keep)
+		}
+	}
+}
+
+func TestSampleCutExtremes(t *testing.T) {
+	g := chainGraph(6)
+	rng := rand.New(rand.NewSource(1))
+	if got := g.SampleCut(rng, 1.0).Size(); got != 6 {
+		t.Fatalf("keep=1 cut size = %d", got)
+	}
+	if got := g.SampleCut(rng, 0.0).Size(); got != 0 {
+		t.Fatalf("keep=0 cut size = %d", got)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	var b tb
+	b.store(0, paddr(0), 0x1111)
+	b.store(0, paddr(0), 0x2222) // overwrite, ordered by atomicity
+	b.store(0, paddr(1), 0x3333)
+	g := mustBuild(t, &b.tr, core.Params{Model: core.Epoch})
+	// Full cut: final values.
+	im := g.Materialize(g.Full())
+	if im.ReadWord(paddr(0)) != 0x2222 || im.ReadWord(paddr(1)) != 0x3333 {
+		t.Fatalf("full image wrong: %#x %#x", im.ReadWord(paddr(0)), im.ReadWord(paddr(1)))
+	}
+	// Cut with only the first persist: intermediate value.
+	c := g.Empty()
+	c.Included[0] = true
+	if !g.Valid(c) {
+		t.Fatal("prefix cut should be valid")
+	}
+	im = g.Materialize(c)
+	if im.ReadWord(paddr(0)) != 0x1111 {
+		t.Fatalf("partial image wrong: %#x", im.ReadWord(paddr(0)))
+	}
+	if im.ReadWord(paddr(1)) != 0 {
+		t.Fatal("excluded persist leaked into image")
+	}
+}
+
+func TestMaterializeSubWord(t *testing.T) {
+	var b tb
+	b.tr.Emit(trace.Event{TID: 0, Kind: trace.Store, Addr: memory.PersistentBase, Size: 8, Val: 0xffffffffffffffff})
+	b.tr.Emit(trace.Event{TID: 0, Kind: trace.Store, Addr: memory.PersistentBase + 2, Size: 2, Val: 0xabcd})
+	g := mustBuild(t, &b.tr, core.Params{Model: core.Epoch})
+	im := g.Materialize(g.Full())
+	if got := im.ReadWord(memory.PersistentBase); got != 0xffffffffabcdffff {
+		t.Fatalf("sub-word materialization: %#x", got)
+	}
+}
+
+func TestDropCut(t *testing.T) {
+	// Chain a -> b -> c: dropping b excludes b and c, keeps a.
+	g := chainGraph(3)
+	c := g.DropCut(1)
+	if !g.Valid(c) {
+		t.Fatal("drop cut not downward-closed")
+	}
+	want := []bool{true, false, false}
+	for i, w := range want {
+		if c.Included[i] != w {
+			t.Fatalf("DropCut(1) = %v", c.Included)
+		}
+	}
+	// Independent nodes: dropping one keeps the others.
+	var b tb
+	b.store(0, paddr(0), 1)
+	b.store(1, paddr(10), 2)
+	b.store(0, paddr(1), 3)
+	ge := mustBuild(t, &b.tr, core.Params{Model: core.Epoch})
+	c = ge.DropCut(1)
+	if !ge.Valid(c) || c.Size() != 2 || c.Included[1] {
+		t.Fatalf("independent DropCut = %v", c.Included)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := chainGraph(10)
+	n := 0
+	g.EnumerateCuts(func(Cut) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop failed: %d", n)
+	}
+}

@@ -1,0 +1,27 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// ExampleGraph_FindCycle reproduces the paper's Figure 1 argument: if
+// store visibility reorders across persist barriers while strong
+// persist atomicity holds, the persist-order constraints form a cycle.
+func ExampleGraph_FindCycle() {
+	var g graph.Graph
+	t1A := g.AddNode("T1: persist A", trace.Event{})
+	t1B := g.AddNode("T1: persist B", trace.Event{})
+	t2B := g.AddNode("T2: persist B", trace.Event{})
+	t2A := g.AddNode("T2: persist A", trace.Event{})
+	g.AddEdge(t1A, t1B, graph.ProgramOrder) // T1's persist barrier
+	g.AddEdge(t2B, t2A, graph.ProgramOrder) // T2's persist barrier
+	g.AddEdge(t1B, t2B, graph.Atomicity)    // B coherence (T1's store visible first)
+	g.AddEdge(t2A, t1A, graph.Atomicity)    // A coherence (T2's store visible first)
+
+	fmt.Println("cycle:", g.FindCycle() != nil)
+	// Output:
+	// cycle: true
+}

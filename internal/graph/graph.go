@@ -1,0 +1,508 @@
+// Package graph materializes persist-order constraint graphs.
+//
+// Where internal/core summarizes persist ordering as scalar critical-path
+// levels (fast, streaming, used for the throughput experiments), package
+// graph builds the explicit DAG of persists and labeled ordering edges
+// for moderate-sized traces. The explicit form supports:
+//
+//   - classifying constraints (program-order/barrier, strong persist
+//     atomicity, cross-thread conflict) to reproduce the structure of the
+//     paper's Figure 2;
+//   - enumerating and sampling *consistent cuts* — downward-closed sets
+//     of persists — which are exactly the NVRAM states a failure may
+//     expose to the recovery observer (used by internal/observer);
+//   - cycle detection over manually constructed graphs, reproducing the
+//     paper's Figure 1 impossibility argument.
+//
+// The graph deliberately ignores persist coalescing: coalescing merges
+// NVRAM writes but never adds ordering, so the un-coalesced DAG admits a
+// superset of the recovery states — the conservative direction for
+// verifying recovery correctness.
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// EdgeClass labels why a persist-order constraint exists.
+type EdgeClass uint8
+
+const (
+	// ProgramOrder edges come from the issuing thread's own order:
+	// every preceding persist under strict persistency, epoch
+	// boundaries under epoch/strand persistency.
+	ProgramOrder EdgeClass = iota
+	// Atomicity edges come from strong persist atomicity: persists to
+	// the same (tracking-granularity) address serialize (§4.3).
+	Atomicity
+	// Conflict edges propagate across threads through conflicting
+	// accesses (the recovery observer's happens-before, §4).
+	Conflict
+)
+
+// String names the edge class.
+func (c EdgeClass) String() string {
+	switch c {
+	case ProgramOrder:
+		return "program-order"
+	case Atomicity:
+		return "atomicity"
+	case Conflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// NodeID indexes a persist node within its graph.
+type NodeID int
+
+// Edge is a directed constraint: the owning node persists only after
+// node From.
+type Edge struct {
+	From  NodeID
+	Class EdgeClass
+}
+
+// Node is one persist (one store/RMW event targeting NVRAM), or a
+// manually declared persist in a hand-built graph.
+type Node struct {
+	ID NodeID
+	// Event is the originating trace event (zero for manual nodes).
+	Event trace.Event
+	// Label names manual nodes (Figure 1 style examples).
+	Label string
+	// In holds incoming constraint edges (dependences), deduplicated.
+	In []Edge
+}
+
+// Graph is a persist-order constraint graph. Nodes added by Build are
+// topologically ordered by construction (every edge points backward);
+// manually built graphs may contain cycles, which FindCycle exposes.
+type Graph struct {
+	Nodes []*Node
+}
+
+// AddNode appends a node and returns its id.
+func (g *Graph) AddNode(label string, ev trace.Event) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, &Node{ID: id, Label: label, Event: ev})
+	return id
+}
+
+// AddEdge adds a constraint: to persists only after from. Duplicate
+// (from, class) pairs on one node are ignored. The scan is linear;
+// the trace builder uses its own O(1) dedup and only calls this on
+// fresh pairs.
+func (g *Graph) AddEdge(from, to NodeID, class EdgeClass) {
+	n := g.Nodes[to]
+	for _, e := range n.In {
+		if e.From == from && e.Class == class {
+			return
+		}
+	}
+	n.In = append(n.In, Edge{From: from, Class: class})
+}
+
+// addEdgeRaw appends without the dedup scan (builder internal).
+func (g *Graph) addEdgeRaw(from, to NodeID, class EdgeClass) {
+	n := g.Nodes[to]
+	n.In = append(n.In, Edge{From: from, Class: class})
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// EdgeCounts tallies constraint edges by class — the quantitative view
+// of Figure 2: relaxing the model removes classes of edges.
+func (g *Graph) EdgeCounts() map[EdgeClass]int {
+	out := make(map[EdgeClass]int)
+	for _, n := range g.Nodes {
+		for _, e := range n.In {
+			out[e.Class]++
+		}
+	}
+	return out
+}
+
+// CriticalPath returns the longest dependence chain length (number of
+// nodes on it). It must agree with core.Sim's level computation when
+// coalescing is disabled; tests cross-validate the two. Panics on
+// cyclic graphs.
+func (g *Graph) CriticalPath() int64 {
+	if cyc := g.FindCycle(); cyc != nil {
+		panic("graph: CriticalPath on cyclic graph")
+	}
+	depth := make([]int64, len(g.Nodes))
+	var longest int64
+	// Nodes are in topological order for trace-built graphs; manual
+	// acyclic graphs may be out of order, so iterate to fixpoint-free
+	// via DFS memoization instead.
+	var visit func(NodeID) int64
+	visiting := make([]bool, len(g.Nodes))
+	visited := make([]bool, len(g.Nodes))
+	visit = func(id NodeID) int64 {
+		if visited[id] {
+			return depth[id]
+		}
+		visiting[id] = true
+		d := int64(1)
+		for _, e := range g.Nodes[id].In {
+			if dd := visit(e.From) + 1; dd > d {
+				d = dd
+			}
+		}
+		visiting[id] = false
+		visited[id] = true
+		depth[id] = d
+		return d
+	}
+	for i := range g.Nodes {
+		if d := visit(NodeID(i)); d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
+
+// FindCycle returns the node ids of one directed cycle, or nil if the
+// graph is acyclic. Edges are interpreted as From → node.
+func (g *Graph) FindCycle() []NodeID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Nodes))
+	parent := make([]NodeID, len(g.Nodes))
+	// succ lists for forward traversal.
+	succ := make([][]NodeID, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, e := range n.In {
+			succ[e.From] = append(succ[e.From], n.ID)
+		}
+	}
+	var cycle []NodeID
+	var dfs func(NodeID) bool
+	dfs = func(u NodeID) bool {
+		color[u] = gray
+		for _, v := range succ[u] {
+			if color[v] == gray {
+				// Found a back edge v ... u -> v: reconstruct.
+				cycle = []NodeID{v}
+				for x := u; x != v; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				// Reverse into forward order v -> ... -> u.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+			if color[v] == white {
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for i := range g.Nodes {
+		if color[i] == white && dfs(NodeID(i)) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// DOT renders the constraint graph in Graphviz format: persists as
+// nodes (labelled with thread and address, or the manual label), edges
+// colored by class (program-order black, atomicity red, conflict
+// blue). Intended for small graphs — a few dozen inserts already make
+// a poster.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", name)
+	for _, n := range g.Nodes {
+		label := n.Label
+		if label == "" {
+			label = fmt.Sprintf("#%d t%d\\n%#x", n.Event.Seq, n.Event.TID, uint64(n.Event.Addr))
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.ID, label)
+	}
+	color := map[EdgeClass]string{
+		ProgramOrder: "black",
+		Atomicity:    "red",
+		Conflict:     "blue",
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.In {
+			fmt.Fprintf(&b, "  n%d -> n%d [color=%s];\n", e.From, n.ID, color[e.Class])
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Build constructs the persist-order DAG of a trace under a persistency
+// model. Parameters follow core.Params (granularities; coalescing is
+// intentionally not modeled — see the package comment). The state
+// machine mirrors core.Sim but carries dependence *frontiers* (sets of
+// node ids) instead of scalar levels.
+func Build(tr *trace.Trace, p core.Params) (*Graph, error) {
+	b, err := newBuilder(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range tr.Events {
+		if err := b.feed(e); err != nil {
+			return nil, err
+		}
+	}
+	return b.g, nil
+}
+
+type nodeSet map[NodeID]struct{}
+
+func (s nodeSet) add(ids ...NodeID) nodeSet {
+	if s == nil {
+		s = make(nodeSet)
+	}
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+func (s nodeSet) union(o nodeSet) nodeSet {
+	if len(o) == 0 {
+		return s
+	}
+	if s == nil {
+		s = make(nodeSet)
+	}
+	for id := range o {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+func (s nodeSet) clone() nodeSet {
+	c := make(nodeSet, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}
+
+type gThread struct {
+	active   nodeSet
+	pending  nodeSet
+	epochMax nodeSet
+}
+
+type gBlock struct {
+	writer nodeSet
+	reader nodeSet
+	lastP  NodeID // -1 when none
+}
+
+type builder struct {
+	g        *Graph
+	p        core.Params
+	strict   bool
+	barriers bool
+	strands  bool
+	lbs      bool // load-before-store conflicts
+	volc     bool // volatile conflicts
+	threads  map[int32]*gThread
+	blocks   map[memory.BlockID]*gBlock
+}
+
+func newBuilder(p core.Params) (*builder, error) {
+	if p.TrackingGranularity == 0 {
+		p.TrackingGranularity = memory.WordSize
+	}
+	if !memory.IsPowerOfTwo(p.TrackingGranularity) {
+		return nil, fmt.Errorf("graph: bad tracking granularity %d", p.TrackingGranularity)
+	}
+	b := &builder{
+		g:       &Graph{},
+		p:       p,
+		threads: make(map[int32]*gThread),
+		blocks:  make(map[memory.BlockID]*gBlock),
+	}
+	switch p.Model {
+	case core.Strict:
+		b.strict, b.lbs, b.volc = true, true, true
+	case core.Epoch:
+		b.barriers, b.lbs, b.volc = true, true, true
+	case core.EpochTSO:
+		b.barriers = true
+	case core.Strand:
+		b.barriers, b.strands, b.lbs, b.volc = true, true, true, true
+	default:
+		return nil, fmt.Errorf("graph: unknown model %v", p.Model)
+	}
+	return b, nil
+}
+
+func (b *builder) thread(tid int32) *gThread {
+	t, ok := b.threads[tid]
+	if !ok {
+		t = &gThread{}
+		b.threads[tid] = t
+	}
+	return t
+}
+
+func (b *builder) block(id memory.BlockID) *gBlock {
+	bs, ok := b.blocks[id]
+	if !ok {
+		bs = &gBlock{lastP: -1}
+		b.blocks[id] = bs
+	}
+	return bs
+}
+
+func (b *builder) eachBlock(e trace.Event, fn func(*gBlock)) {
+	first, last := memory.BlockSpan(e.Addr, int(e.Size), b.p.TrackingGranularity)
+	for blk := first; blk <= last; blk++ {
+		fn(b.block(blk))
+	}
+}
+
+func (b *builder) feed(e trace.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	switch e.Kind {
+	case trace.Load:
+		if !b.volc && !memory.IsPersistent(e.Addr) {
+			return nil
+		}
+		t := b.thread(e.TID)
+		b.eachBlock(e, func(bs *gBlock) {
+			if b.strict {
+				t.active = t.active.union(bs.writer)
+			} else {
+				t.pending = t.pending.union(bs.writer)
+			}
+			if b.lbs {
+				bs.reader = bs.reader.union(t.active)
+			}
+		})
+	case trace.Store, trace.RMW:
+		if memory.IsPersistent(e.Addr) {
+			b.persist(e)
+		} else if b.volc {
+			t := b.thread(e.TID)
+			b.eachBlock(e, func(bs *gBlock) {
+				inherit := bs.writer.clone().union(bs.reader)
+				if b.strict {
+					t.active = t.active.union(inherit)
+				} else {
+					t.pending = t.pending.union(inherit)
+				}
+				bs.writer = bs.writer.union(bs.reader).union(t.active)
+				bs.reader = nil
+			})
+		}
+	case trace.PersistBarrier:
+		if b.barriers {
+			b.bindEpoch(b.thread(e.TID))
+		}
+	case trace.NewStrand:
+		if b.strands {
+			t := b.thread(e.TID)
+			t.active, t.pending, t.epochMax = nil, nil, nil
+		}
+	case trace.PersistSync:
+		b.bindEpoch(b.thread(e.TID))
+	case trace.Malloc, trace.Free, trace.BeginWork, trace.EndWork:
+		// No ordering significance.
+	}
+	return nil
+}
+
+func (b *builder) bindEpoch(t *gThread) {
+	if len(t.epochMax) > 0 {
+		// Every persist of the closing epoch carries edges from the old
+		// active set, so the old set is dominated and can be dropped —
+		// the frontier pruning that keeps dependence sets bounded.
+		t.active = t.pending.clone().union(t.epochMax)
+	} else {
+		t.active = t.active.union(t.pending)
+	}
+	t.pending = nil
+	t.epochMax = nil
+}
+
+func (b *builder) persist(e trace.Event) {
+	t := b.thread(e.TID)
+	id := b.g.AddNode("", e)
+
+	// O(1)-dedup edge insertion: a node is created once, so a local set
+	// of sources suffices.
+	seen := make(map[NodeID]struct{})
+	addEdge := func(from NodeID, class EdgeClass) {
+		if _, dup := seen[from]; dup {
+			return
+		}
+		seen[from] = struct{}{}
+		b.g.addEdgeRaw(from, id, class)
+	}
+
+	// One edge per distinct source; when a source orders this persist
+	// for several reasons, the most specific class wins (atomicity,
+	// then conflict, then program order), matching Figure 2's
+	// classification.
+	var touched []*gBlock
+	b.eachBlock(e, func(bs *gBlock) {
+		// Strong persist atomicity.
+		if bs.lastP >= 0 {
+			addEdge(bs.lastP, Atomicity)
+		}
+		touched = append(touched, bs)
+	})
+	for _, bs := range touched {
+		// Cross-thread (and self) conflict dependences through memory.
+		for from := range bs.writer {
+			addEdge(from, Conflict)
+		}
+		for from := range bs.reader {
+			addEdge(from, Conflict)
+		}
+	}
+	// Program-order / barrier dependences.
+	for from := range t.active {
+		addEdge(from, ProgramOrder)
+	}
+
+	if b.strict {
+		// The new persist subsumes everything it depends on.
+		t.active = nodeSet{}.add(id)
+	} else {
+		t.epochMax = t.epochMax.add(id)
+		// Everything this persist directly depends on is now dominated
+		// by it; scrub those nodes from pending rather than adding the
+		// block contexts (they would only produce redundant edges).
+		for from := range seen {
+			delete(t.pending, from)
+		}
+	}
+	// The persist has edges from every prior dependence of this block,
+	// so it alone is the block's new dependence frontier.
+	for _, bs := range touched {
+		bs.writer = nodeSet{}.add(id)
+		bs.reader = nil
+		bs.lastP = id
+	}
+}

@@ -1,0 +1,8 @@
+package memory
+
+// CheckInvariants exposes heap invariant checking to tests.
+func (h *Heap) CheckInvariants() error { return h.checkInvariants() }
+
+// FreeExtents returns the number of free-list extents, for coalescing
+// tests.
+func (h *Heap) FreeExtents() int { return len(h.free) }

@@ -1,0 +1,190 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Heap is a first-fit free-list allocator over one address space. The
+// paper's tracing framework instruments "persistent malloc/free to
+// distinguish volatile and persistent address spaces" (§7); Heap is that
+// allocator. It is not safe for concurrent use; the execution engine
+// serializes all simulated-machine operations, so that is the natural
+// locking domain.
+//
+// The benchmarks allocate with 64-byte alignment because the paper pads
+// objects and queue inserts "to provide 64-byte alignment to prevent
+// false sharing" (§7); DefaultAlign captures that.
+type Heap struct {
+	space Space
+	base  Addr
+	limit Addr // one past the last usable address
+
+	// free holds disjoint, address-sorted free extents.
+	free []extent
+	// live maps allocation base -> size for Free validation and stats.
+	live map[Addr]uint64
+
+	allocated uint64 // bytes currently allocated
+	peak      uint64 // high-water mark of allocated
+}
+
+type extent struct {
+	base Addr
+	size uint64
+}
+
+// DefaultAlign is the allocation alignment used by the paper's
+// benchmarks to avoid false sharing (§7).
+const DefaultAlign = 64
+
+// NewHeap returns a heap managing the full extent of the given space.
+func NewHeap(space Space) *Heap {
+	var base Addr
+	var size uint64
+	switch space {
+	case Volatile:
+		base, size = VolatileBase, VolatileSize
+	case Persistent:
+		base, size = PersistentBase, PersistentSize
+	default:
+		panic("memory: NewHeap of unmapped space")
+	}
+	return &Heap{
+		space: space,
+		base:  base,
+		limit: base + Addr(size),
+		free:  []extent{{base: base, size: size}},
+		live:  make(map[Addr]uint64),
+	}
+}
+
+// Space returns the address space this heap allocates from.
+func (h *Heap) Space() Space { return h.space }
+
+// Alloc reserves size bytes aligned to align (a power of two; 0 means
+// DefaultAlign) and returns the base address. The allocator rounds the
+// reservation up to a multiple of the alignment so that consecutive
+// allocations never share an aligned block, mirroring the paper's
+// padding discipline.
+func (h *Heap) Alloc(size int, align uint64) (Addr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("memory: Alloc of non-positive size %d", size)
+	}
+	if align == 0 {
+		align = DefaultAlign
+	}
+	if !IsPowerOfTwo(align) {
+		return 0, fmt.Errorf("memory: Alloc alignment %d is not a power of two", align)
+	}
+	need := uint64(AlignUp(Addr(size), align))
+	for i, e := range h.free {
+		start := AlignUp(e.base, align)
+		pad := uint64(start - e.base)
+		if e.size < pad+need {
+			continue
+		}
+		// Split the extent: [e.base, start) stays free as leading pad,
+		// [start, start+need) is allocated, remainder stays free.
+		var repl []extent
+		if pad > 0 {
+			repl = append(repl, extent{base: e.base, size: pad})
+		}
+		if rem := e.size - pad - need; rem > 0 {
+			repl = append(repl, extent{base: start + Addr(need), size: rem})
+		}
+		h.free = append(h.free[:i], append(repl, h.free[i+1:]...)...)
+		h.live[start] = need
+		h.allocated += need
+		if h.allocated > h.peak {
+			h.peak = h.allocated
+		}
+		return start, nil
+	}
+	return 0, fmt.Errorf("memory: %s heap exhausted allocating %d bytes (align %d)", h.space, size, align)
+}
+
+// MustAlloc is Alloc that panics on failure; the simulated heaps are
+// 1 GiB, so exhaustion in a benchmark is a programming error.
+func (h *Heap) MustAlloc(size int, align uint64) Addr {
+	a, err := h.Alloc(size, align)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Free releases a previous allocation, coalescing adjacent free extents.
+func (h *Heap) Free(a Addr) error {
+	size, ok := h.live[a]
+	if !ok {
+		return fmt.Errorf("memory: Free of %#x which is not a live allocation", uint64(a))
+	}
+	delete(h.live, a)
+	h.allocated -= size
+
+	// Insert in address order, then coalesce with neighbors.
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].base >= a })
+	h.free = append(h.free, extent{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = extent{base: a, size: size}
+	// Coalesce with successor first so index i stays valid.
+	if i+1 < len(h.free) && h.free[i].base+Addr(h.free[i].size) == h.free[i+1].base {
+		h.free[i].size += h.free[i+1].size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].base+Addr(h.free[i-1].size) == h.free[i].base {
+		h.free[i-1].size += h.free[i].size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+	return nil
+}
+
+// SizeOf returns the reserved size of the live allocation at a, or 0 if
+// a is not a live allocation base.
+func (h *Heap) SizeOf(a Addr) uint64 { return h.live[a] }
+
+// Allocated returns the number of bytes currently reserved.
+func (h *Heap) Allocated() uint64 { return h.allocated }
+
+// Peak returns the allocation high-water mark in bytes.
+func (h *Heap) Peak() uint64 { return h.peak }
+
+// LiveCount returns the number of live allocations.
+func (h *Heap) LiveCount() int { return len(h.live) }
+
+// checkInvariants verifies free-list ordering, disjointness, and
+// accounting; it is exported to tests via export_test.go.
+func (h *Heap) checkInvariants() error {
+	var freeBytes uint64
+	for i, e := range h.free {
+		if e.size == 0 {
+			return fmt.Errorf("empty free extent at %d", i)
+		}
+		if e.base < h.base || e.base+Addr(e.size) > h.limit {
+			return fmt.Errorf("free extent %d out of bounds", i)
+		}
+		if i > 0 {
+			prev := h.free[i-1]
+			if prev.base+Addr(prev.size) > e.base {
+				return fmt.Errorf("free extents %d,%d overlap or are unsorted", i-1, i)
+			}
+			if prev.base+Addr(prev.size) == e.base {
+				return fmt.Errorf("free extents %d,%d not coalesced", i-1, i)
+			}
+		}
+		freeBytes += e.size
+	}
+	var liveBytes uint64
+	for _, s := range h.live {
+		liveBytes += s
+	}
+	if liveBytes != h.allocated {
+		return fmt.Errorf("allocated accounting mismatch: %d vs %d", liveBytes, h.allocated)
+	}
+	total := uint64(h.limit - h.base)
+	if freeBytes+liveBytes != total {
+		return fmt.Errorf("bytes leak: free %d + live %d != %d", freeBytes, liveBytes, total)
+	}
+	return nil
+}

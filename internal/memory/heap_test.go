@@ -1,0 +1,190 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapAllocBasics(t *testing.T) {
+	h := NewHeap(Persistent)
+	a, err := h.Alloc(100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPersistent(a) {
+		t.Fatalf("allocation %#x not in persistent space", uint64(a))
+	}
+	if uint64(a)%64 != 0 {
+		t.Fatalf("allocation %#x not 64-byte aligned", uint64(a))
+	}
+	if h.SizeOf(a) != 128 {
+		t.Fatalf("100 bytes at align 64 should reserve 128, got %d", h.SizeOf(a))
+	}
+	if h.Allocated() != 128 || h.LiveCount() != 1 {
+		t.Fatalf("accounting wrong: %d bytes, %d live", h.Allocated(), h.LiveCount())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapDefaultAlign(t *testing.T) {
+	h := NewHeap(Volatile)
+	a := h.MustAlloc(8, 0)
+	if uint64(a)%DefaultAlign != 0 {
+		t.Fatalf("default alignment not applied: %#x", uint64(a))
+	}
+}
+
+func TestHeapAllocErrors(t *testing.T) {
+	h := NewHeap(Volatile)
+	if _, err := h.Alloc(0, 8); err == nil {
+		t.Error("Alloc(0) should fail")
+	}
+	if _, err := h.Alloc(-5, 8); err == nil {
+		t.Error("Alloc(-5) should fail")
+	}
+	if _, err := h.Alloc(8, 3); err == nil {
+		t.Error("non-power-of-two alignment should fail")
+	}
+	if _, err := h.Alloc(int(VolatileSize)+1, 8); err == nil {
+		t.Error("oversized allocation should fail")
+	}
+}
+
+func TestHeapFreeErrors(t *testing.T) {
+	h := NewHeap(Volatile)
+	if err := h.Free(VolatileBase); err == nil {
+		t.Error("Free of never-allocated address should fail")
+	}
+	a := h.MustAlloc(64, 64)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Error("double Free should fail")
+	}
+}
+
+func TestHeapAllocationsDisjoint(t *testing.T) {
+	h := NewHeap(Persistent)
+	type span struct{ base, end Addr }
+	var spans []span
+	for i := 0; i < 100; i++ {
+		size := 1 + i*7%200
+		a := h.MustAlloc(size, 8)
+		spans = append(spans, span{a, a + Addr(size)})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].base < spans[j].end && spans[j].base < spans[i].end {
+				t.Fatalf("allocations %d and %d overlap", i, j)
+			}
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapCoalescing(t *testing.T) {
+	h := NewHeap(Volatile)
+	var addrs []Addr
+	for i := 0; i < 10; i++ {
+		addrs = append(addrs, h.MustAlloc(64, 64))
+	}
+	// Free everything; all extents must coalesce back into one.
+	for _, a := range addrs {
+		if err := h.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.FreeExtents() != 1 {
+		t.Fatalf("heap not fully coalesced: %d extents", h.FreeExtents())
+	}
+	if h.Allocated() != 0 {
+		t.Fatalf("bytes leaked: %d", h.Allocated())
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapPeak(t *testing.T) {
+	h := NewHeap(Volatile)
+	a := h.MustAlloc(64, 64)
+	b := h.MustAlloc(64, 64)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if h.Peak() != 128 {
+		t.Fatalf("peak should be 128, got %d", h.Peak())
+	}
+}
+
+// TestHeapRandomizedInvariants drives a random alloc/free sequence and
+// checks the structural invariants after every operation.
+func TestHeapRandomizedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHeap(Persistent)
+	var live []Addr
+	for step := 0; step < 2000; step++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			size := 1 + rng.Intn(512)
+			align := uint64(8) << rng.Intn(4)
+			a, err := h.Alloc(size, align)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if uint64(a)%align != 0 {
+				t.Fatalf("step %d: misaligned %#x %% %d", step, uint64(a), align)
+			}
+			live = append(live, a)
+		} else {
+			i := rng.Intn(len(live))
+			if err := h.Free(live[i]); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if step%97 == 0 {
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	for _, a := range live {
+		if err := h.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeExtents() != 1 {
+		t.Fatalf("after freeing all, %d extents", h.FreeExtents())
+	}
+}
+
+// Property: an allocation of any size/alignment combination either fails
+// or yields an aligned, in-space address.
+func TestHeapAllocProperty(t *testing.T) {
+	h := NewHeap(Volatile)
+	f := func(sz uint16, shift uint8) bool {
+		size := int(sz%4096) + 1
+		align := uint64(8) << (shift % 5)
+		a, err := h.Alloc(size, align)
+		if err != nil {
+			return true // exhaustion is acceptable
+		}
+		defer h.Free(a)
+		return uint64(a)%align == 0 && IsVolatile(a) && IsVolatile(a+Addr(size)-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Image is a byte-accurate, sparse snapshot of the persistent address
+// space. The recovery observer materializes an Image by replaying the
+// subset of persists contained in a consistent cut of the persist-order
+// DAG; recovery procedures then read the queue (or other structure) back
+// out of the Image exactly as post-failure software would read NVRAM.
+//
+// Storage is a map of aligned 8-byte words; untouched words read as
+// zero, matching NVRAM that was never written. Image is not safe for
+// concurrent use.
+type Image struct {
+	words map[Addr]uint64
+}
+
+// NewImage returns an empty persistent-space snapshot.
+func NewImage() *Image {
+	return &Image{words: make(map[Addr]uint64)}
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	c := NewImage()
+	for a, w := range im.words {
+		c.words[a] = w
+	}
+	return c
+}
+
+// WriteWord stores an 8-byte value at an 8-byte-aligned persistent
+// address. It panics on misalignment or a non-persistent address:
+// persists are produced by the simulator, which must have validated
+// them already.
+func (im *Image) WriteWord(a Addr, v uint64) {
+	if a%WordSize != 0 {
+		panic(fmt.Sprintf("memory: Image.WriteWord misaligned address %#x", uint64(a)))
+	}
+	if !IsPersistent(a) {
+		panic(fmt.Sprintf("memory: Image.WriteWord to non-persistent address %#x", uint64(a)))
+	}
+	im.words[a] = v
+}
+
+// ReadWord loads the 8-byte value at an aligned persistent address;
+// never-written words read as zero.
+func (im *Image) ReadWord(a Addr) uint64 {
+	if a%WordSize != 0 {
+		panic(fmt.Sprintf("memory: Image.ReadWord misaligned address %#x", uint64(a)))
+	}
+	return im.words[a]
+}
+
+// WriteBytes stores an arbitrary byte range (read-modify-write of the
+// covering words). The simulator issues only word-sized persists, but
+// recovery helpers and tests use byte granularity.
+func (im *Image) WriteBytes(a Addr, b []byte) {
+	for i := 0; i < len(b); i++ {
+		addr := a + Addr(i)
+		w := AlignDown(addr, WordSize)
+		word := im.words[w]
+		var buf [WordSize]byte
+		binary.LittleEndian.PutUint64(buf[:], word)
+		buf[addr-w] = b[i]
+		im.words[w] = binary.LittleEndian.Uint64(buf[:])
+	}
+}
+
+// ReadBytes fills b with the contents at address a.
+func (im *Image) ReadBytes(a Addr, b []byte) {
+	for i := 0; i < len(b); i++ {
+		addr := a + Addr(i)
+		w := AlignDown(addr, WordSize)
+		var buf [WordSize]byte
+		binary.LittleEndian.PutUint64(buf[:], im.words[w])
+		b[i] = buf[addr-w]
+	}
+}
+
+// WrittenWords returns the addresses of all explicitly written words in
+// ascending order. Tests use it to compare images.
+func (im *Image) WrittenWords() []Addr {
+	out := make([]Addr, 0, len(im.words))
+	for a := range im.words {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two images contain identical content (treating
+// unwritten words as zero).
+func (im *Image) Equal(other *Image) bool {
+	for a, w := range im.words {
+		if other.words[a] != w {
+			return false
+		}
+	}
+	for a, w := range other.words {
+		if im.words[a] != w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+package memory
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageWordRoundTrip(t *testing.T) {
+	im := NewImage()
+	a := PersistentBase + 128
+	im.WriteWord(a, 0xdeadbeefcafef00d)
+	if got := im.ReadWord(a); got != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadWord = %#x", got)
+	}
+	if got := im.ReadWord(a + 8); got != 0 {
+		t.Fatalf("unwritten word should read zero, got %#x", got)
+	}
+}
+
+func TestImageMisalignedPanics(t *testing.T) {
+	im := NewImage()
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned WriteWord should panic")
+		}
+	}()
+	im.WriteWord(PersistentBase+4, 1)
+}
+
+func TestImageNonPersistentPanics(t *testing.T) {
+	im := NewImage()
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteWord to volatile space should panic")
+		}
+	}()
+	im.WriteWord(VolatileBase, 1)
+}
+
+func TestImageBytes(t *testing.T) {
+	im := NewImage()
+	a := PersistentBase + 3 // deliberately unaligned
+	src := []byte("memory persistency!")
+	im.WriteBytes(a, src)
+	dst := make([]byte, len(src))
+	im.ReadBytes(a, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatalf("byte round trip: %q != %q", dst, src)
+	}
+}
+
+func TestImageBytesPreserveNeighbors(t *testing.T) {
+	im := NewImage()
+	base := PersistentBase + 64
+	im.WriteWord(base, 0x1111111111111111)
+	im.WriteBytes(base+2, []byte{0xff})
+	var buf [8]byte
+	im.ReadBytes(base, buf[:])
+	want := [8]byte{0x11, 0x11, 0xff, 0x11, 0x11, 0x11, 0x11, 0x11}
+	if buf != want {
+		t.Fatalf("neighbor bytes clobbered: % x", buf)
+	}
+}
+
+func TestImageCloneAndEqual(t *testing.T) {
+	im := NewImage()
+	im.WriteWord(PersistentBase, 7)
+	c := im.Clone()
+	if !im.Equal(c) {
+		t.Fatal("clone should be equal")
+	}
+	c.WriteWord(PersistentBase+8, 9)
+	if im.Equal(c) {
+		t.Fatal("diverged clone should not be equal")
+	}
+	// Zero-valued explicit writes equal implicit zeros.
+	d := NewImage()
+	d.WriteWord(PersistentBase+16, 0)
+	if !d.Equal(NewImage()) {
+		t.Fatal("explicit zero should equal unwritten zero")
+	}
+}
+
+func TestImageWrittenWordsSorted(t *testing.T) {
+	im := NewImage()
+	im.WriteWord(PersistentBase+24, 1)
+	im.WriteWord(PersistentBase+8, 1)
+	im.WriteWord(PersistentBase+16, 1)
+	ws := im.WrittenWords()
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1] >= ws[i] {
+			t.Fatalf("WrittenWords unsorted: %v", ws)
+		}
+	}
+	if len(ws) != 3 {
+		t.Fatalf("want 3 words, got %d", len(ws))
+	}
+}
+
+// Property: WriteBytes then ReadBytes is identity for any offset/content.
+func TestImageByteProperty(t *testing.T) {
+	f := func(off uint16, data []byte) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		if len(data) == 0 {
+			return true
+		}
+		im := NewImage()
+		a := PersistentBase + Addr(off)
+		im.WriteBytes(a, data)
+		out := make([]byte, len(data))
+		im.ReadBytes(a, out)
+		return bytes.Equal(data, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceOf(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		want Space
+	}{
+		{0, Unmapped},
+		{VolatileBase, Volatile},
+		{VolatileBase + Addr(VolatileSize) - 1, Volatile},
+		{VolatileBase + Addr(VolatileSize), Unmapped},
+		{PersistentBase, Persistent},
+		{PersistentBase + Addr(PersistentSize) - 1, Persistent},
+		{PersistentBase + Addr(PersistentSize), Unmapped},
+		{VolatileBase - 1, Unmapped},
+	}
+	for _, c := range cases {
+		if got := SpaceOf(c.a); got != c.want {
+			t.Errorf("SpaceOf(%#x) = %v, want %v", uint64(c.a), got, c.want)
+		}
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	if Volatile.String() != "volatile" || Persistent.String() != "persistent" || Unmapped.String() != "unmapped" {
+		t.Fatalf("Space.String wrong: %v %v %v", Volatile, Persistent, Unmapped)
+	}
+}
+
+func TestIsPersistentIsVolatile(t *testing.T) {
+	if !IsPersistent(PersistentBase + 8) {
+		t.Error("PersistentBase+8 should be persistent")
+	}
+	if IsPersistent(VolatileBase) {
+		t.Error("VolatileBase should not be persistent")
+	}
+	if !IsVolatile(VolatileBase + 100) {
+		t.Error("VolatileBase+100 should be volatile")
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	if AlignDown(0x1007, 8) != 0x1000 {
+		t.Errorf("AlignDown wrong: %#x", uint64(AlignDown(0x1007, 8)))
+	}
+	if AlignUp(0x1001, 8) != 0x1008 {
+		t.Errorf("AlignUp wrong: %#x", uint64(AlignUp(0x1001, 8)))
+	}
+	if AlignUp(0x1000, 8) != 0x1000 {
+		t.Error("AlignUp should be identity on aligned addresses")
+	}
+}
+
+func TestAlignProperties(t *testing.T) {
+	f := func(a uint64, shift uint8) bool {
+		align := uint64(1) << (shift % 12)
+		ad := AlignDown(Addr(a), align)
+		au := AlignUp(Addr(a%(1<<60)), align)
+		if uint64(ad)%align != 0 || uint64(au)%align != 0 {
+			return false
+		}
+		if ad > Addr(a) {
+			return false
+		}
+		if au < Addr(a%(1<<60)) {
+			return false
+		}
+		return uint64(au)-(a%(1<<60)) < align && a-uint64(ad) < align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 8, 64, 1 << 30} {
+		if !IsPowerOfTwo(v) {
+			t.Errorf("%d should be a power of two", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 12, 100, 1<<30 + 1} {
+		if IsPowerOfTwo(v) {
+			t.Errorf("%d should not be a power of two", v)
+		}
+	}
+}
+
+func TestBlockArithmetic(t *testing.T) {
+	a := PersistentBase + 100
+	b := BlockOf(a, 64)
+	if base := BlockBase(b, 64); base > a || a-base >= 64 {
+		t.Errorf("BlockBase/BlockOf inconsistent: addr %#x base %#x", uint64(a), uint64(base))
+	}
+	first, last := BlockSpan(PersistentBase, 64, 64)
+	if first != last {
+		t.Errorf("64-byte access aligned to a 64-byte block should span one block, got %d..%d", first, last)
+	}
+	first, last = BlockSpan(PersistentBase+32, 64, 64)
+	if last != first+1 {
+		t.Errorf("straddling access should span two blocks, got %d..%d", first, last)
+	}
+	first, last = BlockSpan(PersistentBase, 0, 64)
+	if first != last {
+		t.Error("zero-size span should be a single block")
+	}
+}
+
+func TestCheckRange(t *testing.T) {
+	if _, err := CheckRange(PersistentBase, 8); err != nil {
+		t.Errorf("valid range rejected: %v", err)
+	}
+	if _, err := CheckRange(PersistentBase, 0); err == nil {
+		t.Error("zero-size range accepted")
+	}
+	if _, err := CheckRange(0, 8); err == nil {
+		t.Error("unmapped range accepted")
+	}
+	if _, err := CheckRange(PersistentBase+Addr(PersistentSize)-4, 8); err == nil {
+		t.Error("range crossing out of space accepted")
+	}
+	if s, err := CheckRange(VolatileBase+8, 16); err != nil || s != Volatile {
+		t.Errorf("volatile range: %v %v", s, err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package nvram models the NVRAM device's timing.
+//
+// The paper's headline methodology deliberately abstracts the device
+// away: infinite bandwidth and banks, finite persist latency, so
+// throughput is bounded by the persist ordering constraint critical
+// path alone (§7). That case needs no device model — core.Result and a
+// latency suffice.
+//
+// The paper also notes that "at worst, constraints within the memory
+// system limit persist rate, such as bank conflicts or bandwidth
+// limitations" (§3). Package nvram quantifies that caveat: it schedules
+// a persist-order DAG (from internal/graph) onto a device with a finite
+// number of banks (persists to the same bank serialize) and a finite
+// number of write channels (a global concurrency cap), reporting the
+// makespan. With Banks = Channels = 0 (infinite) the makespan equals
+// criticalPath × latency, recovering the paper's assumption; the
+// benches sweep banks to show where device limits, not ordering
+// constraints, become the bottleneck. It also tracks per-block write
+// counts, the quantity NVRAM wear-leveling work cares about (§2.1).
+package nvram
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/memory"
+)
+
+// Config describes the simulated device.
+type Config struct {
+	// Latency is the time one persist occupies the device.
+	Latency time.Duration
+	// Banks is the number of independent banks; persists to the same
+	// bank serialize. Banks are selected by hashing the persist's
+	// atomic block. 0 means infinite (the paper's assumption).
+	Banks int
+	// Channels caps device-wide persist concurrency. 0 means infinite.
+	Channels int
+	// AtomicGranularity maps addresses to banks and wear blocks;
+	// 0 means 8 bytes.
+	AtomicGranularity uint64
+	// MLCSlowFraction models multi-level-cell write asymmetry (§2.1:
+	// MLC cells "require iterative writes to change the cell value"):
+	// this fraction of writes (selected by a deterministic hash of the
+	// persist's block and sequence) takes MLCFactor × Latency. Zero
+	// disables the effect.
+	MLCSlowFraction float64
+	// MLCFactor is the slow-write multiplier; 0 means 4.
+	MLCFactor int
+}
+
+func (c *Config) normalize() error {
+	if c.Latency <= 0 {
+		return fmt.Errorf("nvram: non-positive latency %v", c.Latency)
+	}
+	if c.AtomicGranularity == 0 {
+		c.AtomicGranularity = memory.WordSize
+	}
+	if !memory.IsPowerOfTwo(c.AtomicGranularity) {
+		return fmt.Errorf("nvram: atomic granularity %d not a power of two", c.AtomicGranularity)
+	}
+	if c.Banks < 0 || c.Channels < 0 {
+		return fmt.Errorf("nvram: negative banks/channels")
+	}
+	if c.MLCSlowFraction < 0 || c.MLCSlowFraction > 1 {
+		return fmt.Errorf("nvram: MLC slow fraction %v out of [0,1]", c.MLCSlowFraction)
+	}
+	if c.MLCFactor == 0 {
+		c.MLCFactor = 4
+	}
+	if c.MLCFactor < 1 {
+		return fmt.Errorf("nvram: MLC factor %d must be >= 1", c.MLCFactor)
+	}
+	return nil
+}
+
+// writeLatency returns the service time of one persist, applying the
+// MLC asymmetry deterministically (a seeded hash of block and order,
+// so schedules are reproducible).
+func (c *Config) writeLatency(blk memory.BlockID, n int) time.Duration {
+	if c.MLCSlowFraction <= 0 {
+		return c.Latency
+	}
+	h := (uint64(blk)*0x9e3779b97f4a7c15 + uint64(n)*0xbf58476d1ce4e5b9) >> 11
+	if float64(h%1000)/1000.0 < c.MLCSlowFraction {
+		return time.Duration(c.MLCFactor) * c.Latency
+	}
+	return c.Latency
+}
+
+// Result reports a device schedule.
+type Result struct {
+	// Makespan is the completion time of the last persist.
+	Makespan time.Duration
+	// Persists is the number of NVRAM writes scheduled.
+	Persists int
+	// IdealMakespan is criticalPathDepth × base latency (infinite
+	// device, fast cells).
+	IdealMakespan time.Duration
+	// DeviceBound reports whether device effects (banks, channels, MLC
+	// slow writes), rather than ordering constraints alone, set the
+	// makespan.
+	DeviceBound bool
+	// WearMax is the largest per-block write count.
+	WearMax int
+	// WearBlocks is the number of distinct blocks written.
+	WearBlocks int
+}
+
+// channelHeap is a min-heap of channel free times.
+type channelHeap []time.Duration
+
+func (h channelHeap) Len() int            { return len(h) }
+func (h channelHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h channelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *channelHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *channelHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Schedule lays the persist DAG onto the device and returns timing and
+// wear statistics. Nodes must be in topological order with edges
+// pointing backward (true for graph.Build output).
+func Schedule(g *graph.Graph, cfg Config) (Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return Result{}, err
+	}
+	n := g.Len()
+	finish := make([]time.Duration, n)
+	depth := make([]int64, n)
+	bankFree := make([]time.Duration, cfg.Banks)
+	var channels channelHeap
+	if cfg.Channels > 0 {
+		channels = make(channelHeap, cfg.Channels)
+		heap.Init(&channels)
+	}
+	wear := make(map[memory.BlockID]int)
+
+	var res Result
+	var maxDepth int64
+	for i, node := range g.Nodes {
+		if !node.Event.Kind.IsAccess() {
+			continue
+		}
+		res.Persists++
+		var ready time.Duration
+		var d int64
+		for _, e := range node.In {
+			if f := finish[e.From]; f > ready {
+				ready = f
+			}
+			if dd := depth[e.From]; dd > d {
+				d = dd
+			}
+		}
+		depth[i] = d + 1
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+		start := ready
+		blk := memory.BlockOf(node.Event.Addr, cfg.AtomicGranularity)
+		lat := cfg.writeLatency(blk, res.Persists)
+		if cfg.Banks > 0 {
+			b := int(uint64(blk) % uint64(cfg.Banks))
+			if bankFree[b] > start {
+				start = bankFree[b]
+			}
+			bankFree[b] = start + lat
+		}
+		if cfg.Channels > 0 {
+			// Take the earliest-free channel.
+			if channels[0] > start {
+				start = channels[0]
+			}
+			channels[0] = start + lat
+			heap.Fix(&channels, 0)
+		}
+		finish[i] = start + lat
+		if finish[i] > res.Makespan {
+			res.Makespan = finish[i]
+		}
+		wear[blk]++
+		if wear[blk] > res.WearMax {
+			res.WearMax = wear[blk]
+		}
+	}
+	res.WearBlocks = len(wear)
+	res.IdealMakespan = time.Duration(maxDepth) * cfg.Latency
+	res.DeviceBound = res.Makespan > res.IdealMakespan
+	return res, nil
+}

@@ -1,0 +1,227 @@
+package nvram
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+func paddr(i uint64) memory.Addr { return memory.PersistentBase + memory.Addr(i*64) }
+
+// buildDAG makes a graph from a simple event script.
+func buildDAG(t *testing.T, model core.Model, build func(*trace.Trace)) *graph.Graph {
+	t.Helper()
+	tr := &trace.Trace{}
+	build(tr)
+	g, err := graph.Build(tr, core.Params{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func store(tr *trace.Trace, tid int32, a memory.Addr) {
+	tr.Emit(trace.Event{TID: tid, Kind: trace.Store, Addr: a, Size: 8, Val: 1})
+}
+
+func TestInfiniteDeviceMatchesCriticalPath(t *testing.T) {
+	// A strict chain of 5 persists: makespan = 5 × latency.
+	g := buildDAG(t, core.Strict, func(tr *trace.Trace) {
+		for i := uint64(0); i < 5; i++ {
+			store(tr, 0, paddr(i))
+		}
+	})
+	r, err := Schedule(g, Config{Latency: 100 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 500*time.Nanosecond {
+		t.Fatalf("makespan = %v", r.Makespan)
+	}
+	if r.Makespan != r.IdealMakespan || r.DeviceBound {
+		t.Fatalf("infinite device should be ordering-bound: %+v", r)
+	}
+	if r.Persists != 5 {
+		t.Fatalf("persists = %d", r.Persists)
+	}
+}
+
+func TestConcurrentPersistsOverlapOnInfiniteDevice(t *testing.T) {
+	// Epoch, one epoch, 8 persists: all concurrent -> one latency.
+	g := buildDAG(t, core.Epoch, func(tr *trace.Trace) {
+		for i := uint64(0); i < 8; i++ {
+			store(tr, 0, paddr(i))
+		}
+	})
+	r, err := Schedule(g, Config{Latency: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != time.Microsecond {
+		t.Fatalf("makespan = %v", r.Makespan)
+	}
+}
+
+func TestSingleChannelSerializesEverything(t *testing.T) {
+	g := buildDAG(t, core.Epoch, func(tr *trace.Trace) {
+		for i := uint64(0); i < 8; i++ {
+			store(tr, 0, paddr(i))
+		}
+	})
+	r, err := Schedule(g, Config{Latency: time.Microsecond, Channels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 8*time.Microsecond {
+		t.Fatalf("makespan = %v", r.Makespan)
+	}
+	if !r.DeviceBound {
+		t.Fatal("single channel should be device-bound")
+	}
+}
+
+func TestChannelsScaleThroughput(t *testing.T) {
+	g := buildDAG(t, core.Epoch, func(tr *trace.Trace) {
+		for i := uint64(0); i < 8; i++ {
+			store(tr, 0, paddr(i))
+		}
+	})
+	r2, err := Schedule(g, Config{Latency: time.Microsecond, Channels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Makespan != 4*time.Microsecond {
+		t.Fatalf("2 channels makespan = %v", r2.Makespan)
+	}
+	r4, err := Schedule(g, Config{Latency: time.Microsecond, Channels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Makespan != 2*time.Microsecond {
+		t.Fatalf("4 channels makespan = %v", r4.Makespan)
+	}
+}
+
+func TestBankConflictsSerialize(t *testing.T) {
+	// 8 concurrent persists that all hash to the same bank of a
+	// 1-bank device serialize; on a many-banked device they overlap.
+	g := buildDAG(t, core.Epoch, func(tr *trace.Trace) {
+		for i := uint64(0); i < 8; i++ {
+			store(tr, 0, paddr(i))
+		}
+	})
+	r1, err := Schedule(g, Config{Latency: time.Microsecond, Banks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != 8*time.Microsecond || !r1.DeviceBound {
+		t.Fatalf("1 bank: %+v", r1)
+	}
+	// With banks selected by 64-byte block, the 64-byte-strided
+	// addresses hit 8 distinct banks. (At 8-byte granularity they would
+	// alias onto one bank: stride 64 ≡ 0 mod 8 blocks.)
+	r8, err := Schedule(g, Config{Latency: time.Microsecond, Banks: 8, AtomicGranularity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Makespan != time.Microsecond {
+		t.Fatalf("8 banks makespan = %v", r8.Makespan)
+	}
+}
+
+func TestWearCounting(t *testing.T) {
+	g := buildDAG(t, core.Epoch, func(tr *trace.Trace) {
+		store(tr, 0, paddr(0))
+		store(tr, 0, paddr(0))
+		store(tr, 0, paddr(0))
+		store(tr, 0, paddr(1))
+	})
+	r, err := Schedule(g, Config{Latency: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WearMax != 3 || r.WearBlocks != 2 {
+		t.Fatalf("wear: %+v", r)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := &graph.Graph{}
+	if _, err := Schedule(g, Config{Latency: 0}); err == nil {
+		t.Error("zero latency accepted")
+	}
+	if _, err := Schedule(g, Config{Latency: time.Microsecond, Banks: -1}); err == nil {
+		t.Error("negative banks accepted")
+	}
+	if _, err := Schedule(g, Config{Latency: time.Microsecond, AtomicGranularity: 12}); err == nil {
+		t.Error("bad granularity accepted")
+	}
+}
+
+func TestMLCAsymmetry(t *testing.T) {
+	// A chain of persists with every write slow: makespan = factor ×
+	// ideal.
+	g := buildDAG(t, core.Strict, func(tr *trace.Trace) {
+		for i := uint64(0); i < 5; i++ {
+			store(tr, 0, paddr(i))
+		}
+	})
+	r, err := Schedule(g, Config{Latency: time.Microsecond, MLCSlowFraction: 1.0, MLCFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 15*time.Microsecond {
+		t.Fatalf("all-slow makespan = %v", r.Makespan)
+	}
+	if !r.DeviceBound {
+		t.Fatal("MLC slowdown should be device-bound")
+	}
+	// A fractional mix lands between the extremes and is deterministic.
+	a, err := Schedule(g, Config{Latency: time.Microsecond, MLCSlowFraction: 0.5, MLCFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(g, Config{Latency: time.Microsecond, MLCSlowFraction: 0.5, MLCFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("MLC schedule not deterministic")
+	}
+	if a.Makespan < 5*time.Microsecond || a.Makespan > 15*time.Microsecond {
+		t.Fatalf("mixed makespan = %v", a.Makespan)
+	}
+}
+
+func TestMLCValidation(t *testing.T) {
+	g := &graph.Graph{}
+	if _, err := Schedule(g, Config{Latency: time.Microsecond, MLCSlowFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := Schedule(g, Config{Latency: time.Microsecond, MLCFactor: -1}); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestDependencesRespectBanks(t *testing.T) {
+	// Chain of 3 with a 1-bank device: still 3 × latency (no worse).
+	g := buildDAG(t, core.Strict, func(tr *trace.Trace) {
+		store(tr, 0, paddr(0))
+		store(tr, 0, paddr(1))
+		store(tr, 0, paddr(2))
+	})
+	r, err := Schedule(g, Config{Latency: time.Microsecond, Banks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 3*time.Microsecond {
+		t.Fatalf("makespan = %v", r.Makespan)
+	}
+	if r.DeviceBound {
+		t.Fatal("chain on one bank is ordering-bound, not device-bound")
+	}
+}

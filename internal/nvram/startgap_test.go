@@ -1,0 +1,149 @@
+package nvram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+func TestStartGapValidation(t *testing.T) {
+	if _, err := NewStartGap(0, 10); err == nil {
+		t.Error("zero lines accepted")
+	}
+	if _, err := NewStartGap(10, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestStartGapIdentityBeforeMoves(t *testing.T) {
+	sg, err := NewStartGap(8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for la := 0; la < 8; la++ {
+		if sg.Map(la) != la {
+			t.Fatalf("initial map not identity: %d -> %d", la, sg.Map(la))
+		}
+	}
+}
+
+func TestStartGapRotation(t *testing.T) {
+	sg, err := NewStartGap(4, 1) // move the gap on every write
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After enough writes the mapping must differ from identity while
+	// staying a bijection.
+	changed := false
+	for i := 0; i < 20; i++ {
+		sg.RecordWrite(i % 4)
+		if err := sg.checkBijection(); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		for la := 0; la < 4; la++ {
+			if sg.Map(la) != la {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("gap rotation never changed the mapping")
+	}
+	if sg.GapMoves() != 20 {
+		t.Fatalf("gap moves = %d", sg.GapMoves())
+	}
+}
+
+func TestStartGapFullCycleRestoresBijection(t *testing.T) {
+	sg, err := NewStartGap(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5*6*10; i++ { // many full gap cycles
+		sg.RecordWrite(rng.Intn(5))
+	}
+	if err := sg.checkBijection(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartGapOutOfRangePanics(t *testing.T) {
+	sg, _ := NewStartGap(4, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Map should panic")
+		}
+	}()
+	sg.Map(9)
+}
+
+// hotspotGraph persists the same address repeatedly plus light
+// background traffic — the queue's head-pointer pattern.
+func hotspotGraph(t *testing.T, writes int) *graph.Graph {
+	t.Helper()
+	tr := &trace.Trace{}
+	for i := 0; i < writes; i++ {
+		tr.Emit(trace.Event{TID: 0, Kind: trace.Store, Addr: memory.PersistentBase, Size: 8, Val: uint64(i)})
+		tr.Emit(trace.Event{TID: 0, Kind: trace.Store, Addr: memory.PersistentBase + memory.Addr(64+64*(i%8)), Size: 8, Val: 1})
+	}
+	g, err := graph.Build(tr, core.Params{Model: core.Epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMeasureWearWithoutLeveling(t *testing.T) {
+	g := hotspotGraph(t, 500)
+	p, err := MeasureWear(g, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxLine != 500 {
+		t.Fatalf("hot line wear = %d, want 500", p.MaxLine)
+	}
+	if p.Imbalance() < 4 {
+		t.Fatalf("hotspot should be imbalanced: %.2f", p.Imbalance())
+	}
+}
+
+func TestMeasureWearWithStartGap(t *testing.T) {
+	g := hotspotGraph(t, 500)
+	raw, err := MeasureWear(g, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := NewStartGap(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leveled, err := MeasureWear(g, 64, sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leveled.MaxLine >= raw.MaxLine {
+		t.Fatalf("leveling should cut max wear: %d vs %d", leveled.MaxLine, raw.MaxLine)
+	}
+	if leveled.LinesTouched <= raw.LinesTouched {
+		t.Fatalf("leveling should spread writes: %d vs %d lines", leveled.LinesTouched, raw.LinesTouched)
+	}
+	if leveled.GapMoves == 0 {
+		t.Fatal("no gap moves recorded")
+	}
+}
+
+func TestMeasureWearErrors(t *testing.T) {
+	g := hotspotGraph(t, 10)
+	if _, err := MeasureWear(g, 60, nil); err == nil {
+		t.Error("bad line size accepted")
+	}
+	sg, _ := NewStartGap(2, 8) // too small for the graph's lines
+	if _, err := MeasureWear(g, 64, sg); err == nil {
+		t.Error("undersized leveler accepted")
+	}
+}

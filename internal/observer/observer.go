@@ -1,0 +1,189 @@
+// Package observer implements the paper's *recovery observer*
+// abstraction (§4) as an executable failure-injection harness.
+//
+// The paper reasons "about failure as a recovery observer that
+// atomically reads all of persistent memory at the moment of failure";
+// the set of states the observer may see is exactly the set of
+// downward-closed cuts of the persist-order constraint graph. This
+// package samples (or exhaustively enumerates) those cuts for a traced
+// execution under a chosen persistency model, materializes each cut
+// into an NVRAM image, runs the application's recovery procedure on it,
+// and tallies successes and corruption.
+//
+// Used positively, it verifies that a correctly annotated data
+// structure recovers from *every* reachable crash state; used
+// negatively (with a deliberately dropped persist barrier), it
+// demonstrates that the ordering constraint was load-bearing by finding
+// a reachable corrupt state.
+package observer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// RecoverFunc runs an application's recovery procedure against a
+// post-crash NVRAM image, returning an error when the image is
+// unrecoverable (corrupt).
+type RecoverFunc func(*memory.Image) error
+
+// Config parameterizes crash sampling.
+type Config struct {
+	// Samples is the number of random cuts to test. Zero means 100.
+	Samples int
+	// Seed drives cut sampling.
+	Seed int64
+	// KeepProbs are the inclusion probabilities to sweep; crashes near
+	// the end of execution (keep→1) and near the beginning (keep→0)
+	// exercise different recovery paths. Nil means {0.05, 0.25, 0.5,
+	// 0.75, 0.95, 0.999}.
+	KeepProbs []float64
+}
+
+func (c *Config) normalize() {
+	if c.Samples <= 0 {
+		c.Samples = 100
+	}
+	if len(c.KeepProbs) == 0 {
+		c.KeepProbs = []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.999}
+	}
+}
+
+// Outcome summarizes a crash-testing run.
+type Outcome struct {
+	// Model echoes the persistency model tested.
+	Model core.Model
+	// Persists is the node count of the persist DAG.
+	Persists int
+	// Cuts is the number of crash states tested (including the full and
+	// empty cuts, always tested).
+	Cuts int
+	// Recovered counts crash states whose recovery succeeded.
+	Recovered int
+	// Corrupt counts crash states whose recovery failed.
+	Corrupt int
+	// FirstCorruption carries the first recovery error observed, if any.
+	FirstCorruption error
+}
+
+// AllRecovered reports whether no crash state was corrupt.
+func (o Outcome) AllRecovered() bool { return o.Corrupt == 0 }
+
+// String summarizes the outcome for logs.
+func (o Outcome) String() string {
+	status := "all recovered"
+	if o.Corrupt > 0 {
+		status = fmt.Sprintf("%d CORRUPT (first: %v)", o.Corrupt, o.FirstCorruption)
+	}
+	return fmt.Sprintf("model %v: %d persists, %d crash states: %s", o.Model, o.Persists, o.Cuts, status)
+}
+
+// CrashTest samples random crash states of the traced execution under
+// model parameters p and verifies recovery on each.
+func CrashTest(tr *trace.Trace, p core.Params, rec RecoverFunc, cfg Config) (Outcome, error) {
+	cfg.normalize()
+	g, err := graph.Build(tr, p)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Model: p.Model, Persists: g.Len()}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	try := func(c graph.Cut) {
+		out.Cuts++
+		if err := rec(g.Materialize(c)); err != nil {
+			out.Corrupt++
+			if out.FirstCorruption == nil {
+				out.FirstCorruption = err
+			}
+		} else {
+			out.Recovered++
+		}
+	}
+	// The no-failure and nothing-persisted states are always reachable.
+	try(g.Full())
+	try(g.Empty())
+	for i := 0; i < cfg.Samples; i++ {
+		keep := cfg.KeepProbs[i%len(cfg.KeepProbs)]
+		try(g.SampleCut(rng, keep))
+	}
+	return out, nil
+}
+
+// Exhaustive tests every consistent cut; it refuses graphs with more
+// than limit persists (the cut count is exponential). limit <= 0 means
+// 24.
+func Exhaustive(tr *trace.Trace, p core.Params, rec RecoverFunc, limit int) (Outcome, error) {
+	if limit <= 0 {
+		limit = 24
+	}
+	g, err := graph.Build(tr, p)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if g.Len() > limit {
+		return Outcome{}, fmt.Errorf("observer: %d persists exceeds exhaustive limit %d", g.Len(), limit)
+	}
+	out := Outcome{Model: p.Model, Persists: g.Len()}
+	g.EnumerateCuts(func(c graph.Cut) bool {
+		out.Cuts++
+		if err := rec(g.Materialize(c)); err != nil {
+			out.Corrupt++
+			if out.FirstCorruption == nil {
+				out.FirstCorruption = err
+			}
+		} else {
+			out.Recovered++
+		}
+		return true
+	})
+	return out, nil
+}
+
+// FindCorruption hunts for a reachable corrupt state, sampling up to
+// cfg.Samples cuts, and returns the first corruption error found (nil
+// if none surfaced). It is the negative-testing entry point: a dropped
+// barrier is proven load-bearing by a non-nil result.
+func FindCorruption(tr *trace.Trace, p core.Params, rec RecoverFunc, cfg Config) (error, error) {
+	out, err := CrashTest(tr, p, rec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return out.FirstCorruption, nil
+}
+
+// Adversarial runs the deterministic single-victim crash sweep: for
+// every persist p, it tests the *latest* crash at which p has not yet
+// persisted (everything except p and its dependents). Any recovery
+// invariant that hinges on one persist being ordered before others is
+// violated by exactly one of these cuts, so — unlike random sampling —
+// a clean sweep is a strong statement. The cost is one graph walk and
+// one recovery per persist.
+func Adversarial(tr *trace.Trace, p core.Params, rec RecoverFunc) (Outcome, error) {
+	g, err := graph.Build(tr, p)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{Model: p.Model, Persists: g.Len()}
+	try := func(c graph.Cut) {
+		out.Cuts++
+		if err := rec(g.Materialize(c)); err != nil {
+			out.Corrupt++
+			if out.FirstCorruption == nil {
+				out.FirstCorruption = err
+			}
+		} else {
+			out.Recovered++
+		}
+	}
+	try(g.Full())
+	try(g.Empty())
+	for v := 0; v < g.Len(); v++ {
+		try(g.DropCut(graph.NodeID(v)))
+	}
+	return out, nil
+}

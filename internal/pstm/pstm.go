@@ -1,0 +1,274 @@
+// Package pstm layers durable transactions on top of the persistency
+// API — the direction the paper's related work surveys ("transactions
+// are a common and powerful paradigm for handling both concurrency
+// control and durability, so many authors have proposed layering
+// transactions on top of nonvolatile memory", §9; Mnemosyne, NV-heaps,
+// Kiln). It is a word-granular undo-log STM:
+//
+//   - the first write to each word in a transaction persists an undo
+//     record (index, old value), then a persist barrier orders the
+//     record before the in-place update;
+//   - updates happen in place, so reads trivially see own writes;
+//   - commit persists all in-place updates (barrier), then seals the
+//     transaction by persisting its id into a single Done word — the
+//     strong-persist-atomicity commit point used throughout this
+//     reproduction;
+//   - recovery rolls back an unsealed transaction from its undo
+//     records, which are self-validating (checksums bound to the
+//     transaction id and slot), and leaves sealed transactions alone.
+//
+// Annotation disciplines mirror the other workloads. As with the
+// journal, the racing-epochs discipline is unsafe: a new transaction's
+// undo records overwrite the previous transaction's slots and must be
+// ordered after its seal, which only the barriers around the lock
+// provide. Strand persistency uses §5.3's read-then-barrier recipe on
+// the Done word.
+package pstm
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/locks"
+	"repro/internal/memory"
+)
+
+// Policy selects the annotation discipline.
+type Policy uint8
+
+const (
+	// PolicyStrict emits no annotations.
+	PolicyStrict Policy = iota
+	// PolicyEpoch uses persist barriers around the lock and between
+	// transaction stages.
+	PolicyEpoch
+	// PolicyRacingEpoch drops the barriers around the lock (unsafe for
+	// this structure; for negative tests).
+	PolicyRacingEpoch
+	// PolicyStrand runs each transaction in its own persist strand.
+	PolicyStrand
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStrict:
+		return "strict"
+	case PolicyEpoch:
+		return "epoch"
+	case PolicyRacingEpoch:
+		return "racing-epochs"
+	case PolicyStrand:
+		return "strand"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Policies lists the annotation disciplines.
+var Policies = []Policy{PolicyStrict, PolicyEpoch, PolicyRacingEpoch, PolicyStrand}
+
+const (
+	// recordBytes is one undo slot: word index, old value, checksum,
+	// padded to half a line.
+	recordBytes = 32
+)
+
+// Config parameterizes a Heap.
+type Config struct {
+	// Words is the persistent data array size (8-byte words).
+	Words int
+	// UndoCap bounds the write set of one transaction.
+	UndoCap int
+	// Policy selects annotations.
+	Policy Policy
+}
+
+// Meta locates the persistent structures for recovery.
+type Meta struct {
+	Data  memory.Addr
+	Words int
+	// TxnID is the persistent word holding the armed transaction id.
+	TxnID memory.Addr
+	// Done is the persistent seal: holds the id of the last committed
+	// transaction.
+	Done memory.Addr
+	// Undo is the undo record array.
+	Undo    memory.Addr
+	UndoCap int
+}
+
+// Heap is a durable-transactional array of words.
+type Heap struct {
+	cfg  Config
+	meta Meta
+	lock locks.Lock
+	// seqV is the volatile transaction id counter.
+	seqV memory.Addr
+}
+
+// New allocates and initializes a Heap via a setup thread.
+func New(s *exec.Thread, cfg Config) (*Heap, error) {
+	if cfg.Words <= 0 {
+		return nil, fmt.Errorf("pstm: need at least one word")
+	}
+	if cfg.UndoCap <= 0 {
+		cfg.UndoCap = 16
+	}
+	h := &Heap{cfg: cfg}
+	h.meta = Meta{
+		Data:    s.MallocPersistent(cfg.Words*8, 64),
+		Words:   cfg.Words,
+		TxnID:   s.MallocPersistent(8, 64),
+		Done:    s.MallocPersistent(8, 64),
+		Undo:    s.MallocPersistent(cfg.UndoCap*recordBytes, 64),
+		UndoCap: cfg.UndoCap,
+	}
+	s.Store8(h.meta.TxnID, 0)
+	s.Store8(h.meta.Done, 0)
+	s.PersistBarrier()
+	h.lock = locks.NewMCS(s)
+	h.seqV = s.MallocVolatile(8, 64)
+	s.Store8(h.seqV, 0)
+	return h, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(s *exec.Thread, cfg Config) *Heap {
+	h, err := New(s, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Meta returns the persistent layout for recovery.
+func (h *Heap) Meta() Meta { return h.meta }
+
+func (h *Heap) barrierOuter(t *exec.Thread) {
+	if h.cfg.Policy != PolicyStrict {
+		t.PersistBarrier()
+	}
+}
+
+func (h *Heap) barrierInner(t *exec.Thread) {
+	if h.cfg.Policy == PolicyEpoch || h.cfg.Policy == PolicyStrand {
+		t.PersistBarrier()
+	}
+}
+
+func (h *Heap) barrierStage(t *exec.Thread) {
+	if h.cfg.Policy != PolicyStrict {
+		t.PersistBarrier()
+	}
+}
+
+// Tx is one durable transaction. Use it only inside Atomic's body.
+type Tx struct {
+	h       *Heap
+	t       *exec.Thread
+	id      uint64
+	written map[int]bool
+	n       int
+	aborted bool
+}
+
+// Load reads word i, seeing the transaction's own writes.
+func (tx *Tx) Load(i int) uint64 {
+	tx.check(i)
+	return tx.t.Load8(tx.h.meta.Data + memory.Addr(i*8))
+}
+
+// Store writes word i. The first write to each word persists an undo
+// record before the in-place update.
+func (tx *Tx) Store(i int, v uint64) {
+	tx.check(i)
+	if !tx.written[i] {
+		if tx.n >= tx.h.cfg.UndoCap {
+			panic(fmt.Sprintf("pstm: transaction exceeds UndoCap %d", tx.h.cfg.UndoCap))
+		}
+		old := tx.t.Load8(tx.h.meta.Data + memory.Addr(i*8))
+		rec := tx.h.meta.Undo + memory.Addr(tx.n*recordBytes)
+		tx.t.Store8(rec, uint64(i))
+		tx.t.Store8(rec+8, old)
+		tx.t.Store8(rec+16, recChecksum(tx.id, tx.n, uint64(i), old))
+		// The record must persist before the in-place update it makes
+		// undoable.
+		tx.h.barrierStage(tx.t)
+		tx.written[i] = true
+		tx.n++
+	}
+	tx.t.Store8(tx.h.meta.Data+memory.Addr(i*8), v)
+}
+
+// Abort rolls the transaction back in place and marks it aborted; the
+// enclosing Atomic returns false.
+func (tx *Tx) Abort() {
+	tx.aborted = true
+}
+
+func (tx *Tx) check(i int) {
+	if i < 0 || i >= tx.h.cfg.Words {
+		panic(fmt.Sprintf("pstm: word %d out of range", i))
+	}
+}
+
+// Atomic runs fn as one durable transaction and reports whether it
+// committed (false when fn called Abort). Transactions serialize on
+// the heap's lock.
+func (h *Heap) Atomic(t *exec.Thread, fn func(tx *Tx)) bool {
+	h.barrierOuter(t)
+	h.lock.Acquire(t)
+	id := t.Add8(h.seqV, 1)
+	h.barrierInner(t)
+	if h.cfg.Policy == PolicyStrand {
+		t.NewStrand()
+		// §5.3: this transaction's persists (records overwrite the
+		// previous transaction's slots; the arm and seal words chain)
+		// must follow the previous seal.
+		t.Load8(h.meta.Done)
+		t.PersistBarrier()
+	}
+
+	// Arm: the transaction id validates this transaction's records.
+	t.Store8(h.meta.TxnID, id)
+	h.barrierStage(t) // arm before records and updates
+
+	tx := &Tx{h: h, t: t, id: id, written: make(map[int]bool)}
+	fn(tx)
+
+	if tx.aborted {
+		// Roll back in place (reverse order; each word recorded once).
+		for k := tx.n - 1; k >= 0; k-- {
+			rec := h.meta.Undo + memory.Addr(k*recordBytes)
+			w := t.Load8(rec)
+			old := t.Load8(rec + 8)
+			t.Store8(h.meta.Data+memory.Addr(w*8), old)
+		}
+	}
+	// Updates (or the rollback) must persist before the seal declares
+	// the transaction finished.
+	h.barrierStage(t)
+	t.Store8(h.meta.Done, id) // commit point: single-word seal
+	h.barrierInner(t)
+	h.lock.Release(t)
+	h.barrierOuter(t)
+	return !tx.aborted
+}
+
+// recChecksum binds an undo record to its transaction and slot.
+func recChecksum(txn uint64, slot int, word, old uint64) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(txn)
+	mix(uint64(slot))
+	mix(word)
+	mix(old)
+	return h
+}

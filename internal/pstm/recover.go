@@ -1,0 +1,78 @@
+package pstm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Recovery: if the armed transaction id is not sealed, roll back its
+// valid undo records. Records are self-validating; a record whose
+// checksum fails marks the arming frontier (nothing at or beyond it
+// reached the in-place stage, because each in-place store is ordered
+// after its record by a barrier).
+
+// State is the recovered heap.
+type State struct {
+	// Words holds the recovered data.
+	Words []uint64
+	// RolledBack reports whether an unsealed transaction was undone.
+	RolledBack bool
+	// Undone counts rolled-back records.
+	Undone int
+}
+
+// CorruptionError reports a recovery-correctness violation.
+type CorruptionError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string { return "pstm: corrupt: " + e.Reason }
+
+// IsCorruption reports whether err is a pstm corruption.
+func IsCorruption(err error) bool {
+	var ce *CorruptionError
+	return errors.As(err, &ce)
+}
+
+// Recover rebuilds the heap from a post-crash image.
+func Recover(im *memory.Image, meta Meta) (*State, error) {
+	if meta.Words <= 0 || meta.UndoCap <= 0 {
+		return nil, fmt.Errorf("pstm: bad recovery metadata")
+	}
+	st := &State{Words: make([]uint64, meta.Words)}
+	for i := 0; i < meta.Words; i++ {
+		st.Words[i] = im.ReadWord(meta.Data + memory.Addr(i*8))
+	}
+	armed := im.ReadWord(meta.TxnID)
+	done := im.ReadWord(meta.Done)
+	if done > armed {
+		return nil, &CorruptionError{Reason: fmt.Sprintf("seal %d beyond armed id %d", done, armed)}
+	}
+	if armed == 0 || done == armed {
+		return st, nil // nothing in flight, or it committed
+	}
+	// Roll back transaction `armed` from its valid record prefix,
+	// newest first.
+	var recs [][2]uint64 // (word, old)
+	for k := 0; k < meta.UndoCap; k++ {
+		rec := meta.Undo + memory.Addr(k*recordBytes)
+		w := im.ReadWord(rec)
+		old := im.ReadWord(rec + 8)
+		if im.ReadWord(rec+16) != recChecksum(armed, k, w, old) {
+			break // arming frontier
+		}
+		if w >= uint64(meta.Words) {
+			return nil, &CorruptionError{Reason: fmt.Sprintf("undo record %d targets word %d out of range", k, w)}
+		}
+		recs = append(recs, [2]uint64{w, old})
+	}
+	for k := len(recs) - 1; k >= 0; k-- {
+		st.Words[recs[k][0]] = recs[k][1]
+	}
+	st.RolledBack = len(recs) > 0
+	st.Undone = len(recs)
+	return st, nil
+}

@@ -1,0 +1,96 @@
+package queue
+
+import (
+	"repro/internal/exec"
+	"repro/internal/memory"
+)
+
+// insertList is Two-Lock Concurrent's volatile bookkeeping (§6): it
+// tracks in-flight inserts so head-pointer updates never expose holes.
+// The paper keeps it in volatile memory; so do we — in the *simulated*
+// volatile space, so its accesses appear in the trace and participate
+// in conflict-based persist ordering exactly like the rest of the
+// algorithm's memory traffic.
+//
+// Layout (volatile words):
+//
+//	+0  front : index of the oldest in-flight insert (monotonic)
+//	+8  back  : index one past the newest (monotonic)
+//	+16 slots : capacity × { end offset, done flag }
+//
+// append runs under the reserve lock (mutates back); remove runs under
+// the update lock (mutates front and flags). Capacity must exceed the
+// maximum number of concurrent inserters.
+type insertList struct {
+	base memory.Addr
+	cap  uint64
+}
+
+const (
+	listFront   = 0
+	listBack    = 8
+	listSlots   = 16
+	slotStride  = 16
+	slotEndOff  = 0
+	slotDoneOff = 8
+)
+
+func newInsertList(s *exec.Thread, capacity int) *insertList {
+	if capacity < 2 {
+		capacity = 2
+	}
+	l := &insertList{cap: uint64(capacity)}
+	l.base = s.MallocVolatile(listSlots+capacity*slotStride, SlotAlign)
+	s.Store8(l.base+listFront, 0)
+	s.Store8(l.base+listBack, 0)
+	return l
+}
+
+func (l *insertList) slot(i uint64) memory.Addr {
+	return l.base + listSlots + memory.Addr((i%l.cap)*slotStride)
+}
+
+// append registers an in-flight insert ending at offset end and returns
+// its node index. Caller holds the reserve lock.
+//
+// The ring applies backpressure when full: completed-but-unpopped nodes
+// accumulate behind a descheduled oldest inserter, so the appender
+// waits for the front to advance. Progress is guaranteed — the oldest
+// inserter needs only the update lock, which the waiter does not hold.
+// (The paper's listing hints at the equivalent hazard with its
+// "double-checked lock may acquire reservelock" comment.)
+func (l *insertList) append(t *exec.Thread, end uint64) uint64 {
+	var back uint64
+	for {
+		back = t.Load8(l.base + listBack)
+		front := t.Load8(l.base + listFront)
+		if back-front < l.cap {
+			break
+		}
+		t.Yield()
+	}
+	s := l.slot(back)
+	t.Store8(s+slotEndOff, end)
+	t.Store8(s+slotDoneOff, 0)
+	t.Store8(l.base+listBack, back+1)
+	return back
+}
+
+// remove marks node done and reports whether it was the oldest
+// in-flight insert; if so it pops the contiguous completed prefix and
+// returns the new head offset covering it (Algorithm 1 line 24). Caller
+// holds the update lock.
+func (l *insertList) remove(t *exec.Thread, node uint64) (oldest bool, newHead uint64) {
+	t.Store8(l.slot(node)+slotDoneOff, 1)
+	front := t.Load8(l.base + listFront)
+	if node != front {
+		return false, 0
+	}
+	back := t.Load8(l.base + listBack)
+	for front < back && t.Load8(l.slot(front)+slotDoneOff) == 1 {
+		newHead = t.Load8(l.slot(front) + slotEndOff)
+		front++
+	}
+	t.Store8(l.base+listFront, front)
+	return true, newHead
+}

@@ -1,0 +1,161 @@
+package queue
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Native is the non-simulated twin of Queue: the same algorithms
+// executing directly on host memory with Go synchronization and
+// annotations compiled to nothing. The benchmark harness times it to
+// obtain the *instruction execution rate* that the paper measured on a
+// Xeon E5645 (§7) — the numerator against which persist-bound rates are
+// normalized in Table 1.
+//
+// The paper uses MCS spin locks; on this reproduction's host spinning
+// across time-sliced goroutines would measure the scheduler, not the
+// algorithm, so Native uses sync.Mutex (documented substitution in
+// DESIGN.md). The memory access pattern — entry copy, head update, 2LC
+// reservation and insert list — matches the simulated version.
+type Native struct {
+	cfg  Config
+	data []byte
+	head uint64
+	tail uint64
+
+	// CWL.
+	queueMu sync.Mutex
+	// 2LC.
+	reserveMu sync.Mutex
+	updateMu  sync.Mutex
+	headV     uint64
+	list      nativeList
+}
+
+// nativeList mirrors insertList on host memory. front and back are
+// atomics because append (under the reserve mutex) and remove (under
+// the update mutex) read each other's cursor for backpressure.
+type nativeList struct {
+	front, back atomic.Uint64
+	slots       []nativeNode
+}
+
+type nativeNode struct {
+	end  uint64
+	done bool
+}
+
+// NewNative builds a native queue with the same Config validation as
+// New.
+func NewNative(cfg Config) (*Native, error) {
+	if cfg.DataBytes == 0 || cfg.DataBytes%SlotAlign != 0 {
+		return nil, fmt.Errorf("queue: DataBytes %d must be a positive multiple of %d", cfg.DataBytes, SlotAlign)
+	}
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = 16
+	}
+	return &Native{
+		cfg:  cfg,
+		data: make([]byte, cfg.DataBytes),
+		list: nativeList{slots: make([]nativeNode, 2*cfg.MaxThreads)},
+	}, nil
+}
+
+// Insert appends payload, mirroring the simulated Insert.
+func (q *Native) Insert(payload []byte) uint64 {
+	if q.cfg.Design == CWL {
+		return q.insertCWL(payload)
+	}
+	return q.insert2LC(payload)
+}
+
+// Head returns the current head offset.
+func (q *Native) Head() uint64 {
+	q.updateLockFor().Lock()
+	defer q.updateLockFor().Unlock()
+	return q.head
+}
+
+func (q *Native) updateLockFor() *sync.Mutex {
+	if q.cfg.Design == CWL {
+		return &q.queueMu
+	}
+	return &q.updateMu
+}
+
+func (q *Native) insertCWL(payload []byte) uint64 {
+	slot := SlotBytes(len(payload))
+	q.queueMu.Lock()
+	pos := q.skipWrap(q.head, slot)
+	q.writeEntry(pos, payload)
+	q.head = pos + slot
+	q.queueMu.Unlock()
+	return pos
+}
+
+func (q *Native) insert2LC(payload []byte) uint64 {
+	slot := SlotBytes(len(payload))
+
+	q.reserveMu.Lock()
+	start := q.skipWrap(q.headV, slot)
+	q.headV = start + slot
+	node := q.list.append(q.headV)
+	q.reserveMu.Unlock()
+
+	q.writeEntry(start, payload)
+
+	q.updateMu.Lock()
+	if oldest, newHead := q.list.remove(node); oldest {
+		q.head = newHead
+	}
+	q.updateMu.Unlock()
+	return start
+}
+
+func (q *Native) skipWrap(pos, slot uint64) uint64 {
+	idx := pos % q.cfg.DataBytes
+	if idx+slot <= q.cfg.DataBytes {
+		return pos
+	}
+	binary.LittleEndian.PutUint64(q.data[idx:], wrapMarker)
+	return pos + (q.cfg.DataBytes - idx)
+}
+
+func (q *Native) writeEntry(pos uint64, payload []byte) {
+	idx := pos % q.cfg.DataBytes
+	binary.LittleEndian.PutUint64(q.data[idx:], uint64(len(payload)))
+	copy(q.data[idx+headerBytes:], payload)
+	binary.LittleEndian.PutUint64(q.data[idx+checksumOffset(len(payload)):], Checksum(pos, payload))
+}
+
+func (l *nativeList) append(end uint64) uint64 {
+	// Backpressure mirrors the simulated list: wait for the front to
+	// advance. The oldest inserter needs only the update mutex, which
+	// this caller (holding the reserve mutex) does not hold.
+	for l.back.Load()-l.front.Load() >= uint64(len(l.slots)) {
+		runtime.Gosched()
+	}
+	i := l.back.Load()
+	l.slots[i%uint64(len(l.slots))] = nativeNode{end: end}
+	l.back.Store(i + 1)
+	return i
+}
+
+func (l *nativeList) remove(node uint64) (oldest bool, newHead uint64) {
+	n := uint64(len(l.slots))
+	l.slots[node%n].done = true
+	front := l.front.Load()
+	if node != front {
+		return false, 0
+	}
+	back := l.back.Load()
+	for front < back && l.slots[front%n].done {
+		newHead = l.slots[front%n].end
+		front++
+	}
+	l.front.Store(front)
+	return true, newHead
+}

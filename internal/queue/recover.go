@@ -1,0 +1,88 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Recovery: reading the queue back out of a post-crash NVRAM image.
+//
+// The rule is the paper's (§6): an entry is valid iff the head pointer
+// encompasses its slot. Every entry between tail and head must
+// therefore be fully intact; anything else means the persistency
+// model's ordering constraints were violated (or mis-annotated), and
+// Recover reports it as corruption.
+
+// Entry is one recovered queue entry.
+type Entry struct {
+	// Offset is the entry's monotonic byte offset in the queue.
+	Offset uint64
+	// Payload is the entry body.
+	Payload []byte
+}
+
+// CorruptionError describes a recovery-correctness violation: the head
+// pointer encompasses data that never fully persisted.
+type CorruptionError struct {
+	Offset uint64
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("queue: corrupt entry at offset %d: %s", e.Offset, e.Reason)
+}
+
+// IsCorruption reports whether err is a recovery corruption.
+func IsCorruption(err error) bool {
+	var ce *CorruptionError
+	return errors.As(err, &ce)
+}
+
+// Recover parses the live entries ([tail, head)) out of a post-crash
+// image. It returns the recovered entries in order, or a
+// CorruptionError if the image violates recovery correctness.
+func Recover(im *memory.Image, meta Meta) ([]Entry, error) {
+	if meta.DataBytes == 0 || meta.DataBytes%SlotAlign != 0 {
+		return nil, fmt.Errorf("queue: bad recovery metadata: data bytes %d", meta.DataBytes)
+	}
+	head := im.ReadWord(meta.Head)
+	tail := im.ReadWord(meta.Tail)
+	if tail > head {
+		return nil, &CorruptionError{Offset: tail, Reason: fmt.Sprintf("tail %d beyond head %d", tail, head)}
+	}
+	if head-tail > meta.DataBytes {
+		return nil, &CorruptionError{Offset: head, Reason: fmt.Sprintf("live region %d exceeds capacity %d", head-tail, meta.DataBytes)}
+	}
+	var out []Entry
+	pos := tail
+	for pos < head {
+		idx := pos % meta.DataBytes
+		length := im.ReadWord(meta.Data + memory.Addr(idx))
+		if length == wrapMarker {
+			pos += meta.DataBytes - idx
+			continue
+		}
+		if length == 0 || length > MaxPayload {
+			return nil, &CorruptionError{Offset: pos, Reason: fmt.Sprintf("implausible length %d", length)}
+		}
+		slot := SlotBytes(int(length))
+		if pos+slot > head {
+			return nil, &CorruptionError{Offset: pos, Reason: "entry extends past head"}
+		}
+		if idx+slot > meta.DataBytes {
+			return nil, &CorruptionError{Offset: pos, Reason: "entry straddles wrap point"}
+		}
+		payload := make([]byte, length)
+		im.ReadBytes(meta.Data+memory.Addr(idx)+headerBytes, payload)
+		sum := im.ReadWord(meta.Data + memory.Addr(idx) + memory.Addr(checksumOffset(int(length))))
+		if sum != Checksum(pos, payload) {
+			return nil, &CorruptionError{Offset: pos, Reason: "checksum mismatch"}
+		}
+		out = append(out, Entry{Offset: pos, Payload: payload})
+		pos += slot
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+// Package stats provides the small statistics and formatting helpers
+// the benchmark harness needs: summary statistics, histograms (used for
+// the paper's insert-distance tracing validation, §7), and aligned
+// text-table rendering for the Table 1 / Figure 3–5 reproductions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	Count         int
+	Min, Max      float64
+	Mean          float64
+	P50, P90, P99 float64
+	StdDev        float64
+}
+
+// Summarize computes summary statistics; it returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	sum, sq := 0.0, 0.0
+	for _, v := range s {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		P50:    Percentile(s, 0.50),
+		P90:    Percentile(s, 0.90),
+		P99:    Percentile(s, 0.99),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// IntsToFloats converts a sample of ints.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram over integer values.
+type Histogram struct {
+	// Bounds are ascending upper bounds; a final overflow bucket counts
+	// values above the last bound.
+	Bounds []int
+	Counts []int
+	Total  int
+}
+
+// NewHistogram builds a histogram with the given ascending bounds.
+func NewHistogram(bounds ...int) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i-1] >= bounds[i] {
+			panic("stats: histogram bounds must ascend")
+		}
+	}
+	return &Histogram{Bounds: bounds, Counts: make([]int, len(bounds)+1)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.Total++
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// AddAll records a sample.
+func (h *Histogram) AddAll(vs []int) {
+	for _, v := range vs {
+		h.Add(v)
+	}
+}
+
+// String renders the histogram with proportional bars.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	label := func(i int) string {
+		if i == len(h.Bounds) {
+			return fmt.Sprintf(">%d", h.Bounds[len(h.Bounds)-1])
+		}
+		lo := 0
+		if i > 0 {
+			lo = h.Bounds[i-1] + 1
+		}
+		if lo == h.Bounds[i] {
+			return fmt.Sprintf("%d", lo)
+		}
+		return fmt.Sprintf("%d-%d", lo, h.Bounds[i])
+	}
+	for i, c := range h.Counts {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", c*40/max)
+		}
+		fmt.Fprintf(&b, "%10s %8d %s\n", label(i), c, bar)
+	}
+	return b.String()
+}
+
+// Table renders aligned text tables (the pqbench output format).
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with padded columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatRate renders an operations-per-second rate compactly
+// (e.g. "1.23M/s"); infinite rates render as "inf".
+func FormatRate(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG/s", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fk/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.2f/s", v)
+	}
+}
+
+// FormatNorm renders a rate normalized to instruction rate, bolding
+// (with a trailing '*') values ≥ 1 the way the paper bolds Table 1
+// entries that reach instruction execution rate.
+func FormatNorm(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf*"
+	}
+	if v >= 1 {
+		return fmt.Sprintf("%.2f*", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if Percentile(s, 0) != 10 || Percentile(s, 1) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(s, 0.5); got != 25 {
+		t.Fatalf("median = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestPercentileProperty(t *testing.T) {
+	f := func(xs []float64, p float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p = math.Abs(p)
+		p -= math.Floor(p)
+		s := make([]float64, len(xs))
+		copy(s, xs)
+		sort.Float64s(s)
+		got := Percentile(s, p)
+		return got >= s[0] && got <= s[len(s)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8)
+	h.AddAll([]int{1, 1, 2, 3, 5, 9, 100})
+	if h.Total != 7 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	want := []int{2, 1, 1, 1, 2} // ≤1:{1,1}, 2:{2}, 3-4:{3}, 5-8:{5}, >8:{9,100}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+	out := h.String()
+	if !strings.Contains(out, ">8") {
+		t.Fatalf("histogram rendering:\n%s", out)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("descending bounds should panic")
+		}
+	}()
+	NewHistogram(5, 3)
+}
+
+func TestIntsToFloats(t *testing.T) {
+	f := IntsToFloats([]int{1, 2})
+	if len(f) != 2 || f[0] != 1.0 || f[1] != 2.0 {
+		t.Fatal("conversion wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("model", "rate")
+	tbl.AddRow("strict", "0.033")
+	tbl.AddRow("strand", "12.5*")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "model") || !strings.Contains(lines[2], "strict") {
+		t.Fatalf("table content:\n%s", out)
+	}
+	// Extra cells are dropped, missing cells padded.
+	tbl2 := NewTable("a", "b")
+	tbl2.AddRow("1", "2", "3")
+	tbl2.AddRow("x")
+	if !strings.Contains(tbl2.String(), "x") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.AddRow(`say "hi"`, "x,y")
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"say ""hi""","x,y"`) {
+		t.Fatalf("csv escaping:\n%s", csv)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := map[float64]string{
+		2.5e9: "2.50G/s",
+		3.1e6: "3.10M/s",
+		4.2e3: "4.20k/s",
+		9:     "9.00/s",
+	}
+	for v, want := range cases {
+		if got := FormatRate(v); got != want {
+			t.Errorf("FormatRate(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if FormatRate(math.Inf(1)) != "inf" {
+		t.Error("inf formatting")
+	}
+}
+
+func TestFormatNorm(t *testing.T) {
+	if FormatNorm(0.033) != "0.033" {
+		t.Errorf("got %q", FormatNorm(0.033))
+	}
+	if FormatNorm(1.5) != "1.50*" {
+		t.Errorf("got %q", FormatNorm(1.5))
+	}
+	if FormatNorm(math.Inf(1)) != "inf*" {
+		t.Errorf("got %q", FormatNorm(math.Inf(1)))
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func BenchmarkCodecEncode(b *testing.B) {
+	e := Event{TID: 1, Kind: Store, Addr: memory.PersistentBase, Size: 8, Val: 42}
+	w := NewWriter(io.Discard)
+	b.SetBytes(recordSize)
+	for i := 0; i < b.N; i++ {
+		w.Emit(e)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 10000; i++ {
+		w.Emit(Event{TID: 1, Kind: Store, Addr: memory.PersistentBase, Size: 8, Val: uint64(i)})
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(recordSize)
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+			if n >= b.N {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkTraceEmit(b *testing.B) {
+	tr := &Trace{}
+	e := Event{TID: 0, Kind: Store, Addr: memory.PersistentBase, Size: 8}
+	for i := 0; i < b.N; i++ {
+		tr.Emit(e)
+	}
+}

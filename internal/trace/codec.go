@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/memory"
+)
+
+// Binary trace format. The paper's tracing framework writes traces to
+// disk for offline timing simulation; this codec provides the same
+// workflow (cmd/tracedump records, the simulator can replay).
+//
+// Layout: an 8-byte magic header, then fixed 30-byte little-endian
+// records:
+//
+//	seq  uint64
+//	tid  int32
+//	kind uint8
+//	size uint8
+//	addr uint64
+//	val  uint64
+//
+// Fixed-size records keep the codec trivially seekable and make the
+// property tests exact.
+
+const (
+	// Magic identifies trace files; "MEMPERS1" as little-endian bytes.
+	Magic = "MEMPERS1"
+	// recordSize is the encoded size of one event.
+	recordSize = 8 + 4 + 1 + 1 + 8 + 8
+)
+
+// ErrBadMagic reports a reader positioned at data that is not a trace.
+var ErrBadMagic = errors.New("trace: bad magic; not a trace stream")
+
+// Writer streams events to an io.Writer in the binary format. It
+// implements Sink; Close must be called to flush.
+type Writer struct {
+	bw    *bufio.Writer
+	n     uint64
+	err   error
+	wrote bool
+}
+
+// NewWriter returns a Writer targeting w. The magic header is written
+// lazily on the first event (or at Close for an empty trace).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+func (w *Writer) header() {
+	if !w.wrote {
+		w.wrote = true
+		if _, err := w.bw.WriteString(Magic); err != nil {
+			w.err = err
+		}
+	}
+}
+
+// Emit encodes one event. Seq is assigned from the writer's own
+// counter, so Writer can be used directly as the engine's sink.
+func (w *Writer) Emit(e Event) {
+	if w.err != nil {
+		return
+	}
+	w.header()
+	e.Seq = w.n
+	w.n++
+	var buf [recordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], e.Seq)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(e.TID))
+	buf[12] = byte(e.Kind)
+	buf[13] = e.Size
+	binary.LittleEndian.PutUint64(buf[14:], uint64(e.Addr))
+	binary.LittleEndian.PutUint64(buf[22:], e.Val)
+	if _, err := w.bw.Write(buf[:]); err != nil {
+		w.err = err
+	}
+}
+
+// Count returns the number of events emitted so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Close flushes buffered records and reports any deferred write error.
+func (w *Writer) Close() error {
+	w.header()
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader decodes a binary trace stream.
+type Reader struct {
+	br     *bufio.Reader
+	header bool
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// Next returns the next event, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Event, error) {
+	if !r.header {
+		var m [len(Magic)]byte
+		if _, err := io.ReadFull(r.br, m[:]); err != nil {
+			if err == io.EOF {
+				return Event{}, io.EOF
+			}
+			return Event{}, fmt.Errorf("trace: reading magic: %w", err)
+		}
+		if string(m[:]) != Magic {
+			return Event{}, ErrBadMagic
+		}
+		r.header = true
+	}
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	e := Event{
+		Seq:  binary.LittleEndian.Uint64(buf[0:]),
+		TID:  int32(binary.LittleEndian.Uint32(buf[8:])),
+		Kind: Kind(buf[12]),
+		Size: buf[13],
+		Addr: memory.Addr(binary.LittleEndian.Uint64(buf[14:])),
+		Val:  binary.LittleEndian.Uint64(buf[22:]),
+	}
+	return e, nil
+}
+
+// ReadAll decodes an entire stream into a Trace.
+func ReadAll(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	rd := NewReader(r)
+	for {
+		e, err := rd.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Events = append(tr.Events, e)
+	}
+}
+
+// WriteAll encodes an entire Trace to w.
+func WriteAll(w io.Writer, tr *Trace) error {
+	tw := NewWriter(w)
+	for _, e := range tr.Events {
+		tw.Emit(e)
+	}
+	return tw.Close()
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+)
+
+func randomEvent(rng *rand.Rand) Event {
+	kinds := []Kind{Load, Store, RMW, PersistBarrier, NewStrand, PersistSync, Malloc, Free, BeginWork, EndWork}
+	k := kinds[rng.Intn(len(kinds))]
+	e := Event{TID: int32(rng.Intn(8)), Kind: k}
+	if k.IsAccess() {
+		e.Size = uint8(1 + rng.Intn(8))
+		if rng.Intn(2) == 0 {
+			e.Addr = memory.PersistentBase + memory.Addr(rng.Intn(1<<16)*8)
+		} else {
+			e.Addr = memory.VolatileBase + memory.Addr(rng.Intn(1<<16)*8)
+		}
+		e.Val = rng.Uint64()
+	}
+	if k == Malloc || k == Free {
+		e.Addr = memory.PersistentBase + memory.Addr(rng.Intn(1<<16)*64)
+		e.Val = uint64(rng.Intn(1024))
+	}
+	return e
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := &Trace{}
+	for i := 0; i < 1000; i++ {
+		tr.Emit(randomEvent(rng))
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Events, got.Events) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCodecEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty trace decoded with %d events", got.Len())
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOTATRACEFILE................")))
+	if _, err := r.Next(); err != ErrBadMagic {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &Trace{}
+	tr.Emit(Event{Kind: Store, Addr: memory.PersistentBase, Size: 8})
+	tr.Emit(Event{Kind: Store, Addr: memory.PersistentBase + 8, Size: 8})
+	if err := WriteAll(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(cut))
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record should decode: %v", err)
+	}
+	// No more full records; the partial tail must error, not EOF-silently.
+	if _, err := r.Next(); err == io.EOF || err == nil {
+		t.Fatalf("truncated record should be an error, got %v", err)
+	}
+}
+
+func TestWriterAssignsSeq(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{Kind: PersistBarrier, Seq: 42})
+	w.Emit(Event{Kind: PersistBarrier, Seq: 42})
+	if w.Count() != 2 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events[0].Seq != 0 || tr.Events[1].Seq != 1 {
+		t.Fatalf("writer did not reassign Seq: %v", tr.Events)
+	}
+}
+
+// Property: encode/decode round trip preserves any single event's fields
+// (with Seq rewritten to 0).
+func TestCodecProperty(t *testing.T) {
+	f := func(tid int32, kind uint8, size uint8, addr, val uint64) bool {
+		e := Event{
+			TID:  tid & 0x7fffffff,
+			Kind: Kind(kind),
+			Size: size,
+			Addr: memory.Addr(addr),
+			Val:  val,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.Emit(e)
+		if err := w.Close(); err != nil {
+			return false
+		}
+		tr, err := ReadAll(&buf)
+		if err != nil || tr.Len() != 1 {
+			return false
+		}
+		e.Seq = 0
+		return tr.Events[0] == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/memory"
+)
+
+// Summary aggregates per-kind and per-space event counts for a trace;
+// cmd/tracedump prints it.
+type Summary struct {
+	Total          int
+	ByKind         map[Kind]int
+	Loads          int // data loads incl. RMW reads
+	Stores         int // data stores incl. RMW writes
+	Persists       int // stores to the persistent space
+	VolatileStores int
+	Threads        int
+	Barriers       int
+	Strands        int
+	WorkItems      int // completed BeginWork/EndWork pairs
+}
+
+// Summarize computes a Summary over the trace.
+func Summarize(t *Trace) Summary {
+	s := Summary{ByKind: make(map[Kind]int), Threads: t.Threads(), Total: t.Len()}
+	open := make(map[uint64]bool)
+	for _, e := range t.Events {
+		s.ByKind[e.Kind]++
+		if e.Kind.HasLoadSemantics() {
+			s.Loads++
+		}
+		if e.Kind.HasStoreSemantics() {
+			s.Stores++
+			if memory.IsPersistent(e.Addr) {
+				s.Persists++
+			} else {
+				s.VolatileStores++
+			}
+		}
+		switch e.Kind {
+		case PersistBarrier:
+			s.Barriers++
+		case NewStrand:
+			s.Strands++
+		case BeginWork:
+			open[e.Val] = true
+		case EndWork:
+			if open[e.Val] {
+				delete(open, e.Val)
+				s.WorkItems++
+			}
+		}
+	}
+	return s
+}
+
+// String renders the summary as an aligned table.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events           %10d\n", s.Total)
+	fmt.Fprintf(&b, "threads          %10d\n", s.Threads)
+	fmt.Fprintf(&b, "loads            %10d\n", s.Loads)
+	fmt.Fprintf(&b, "stores           %10d\n", s.Stores)
+	fmt.Fprintf(&b, "  persists       %10d\n", s.Persists)
+	fmt.Fprintf(&b, "  volatile       %10d\n", s.VolatileStores)
+	fmt.Fprintf(&b, "persist barriers %10d\n", s.Barriers)
+	fmt.Fprintf(&b, "new strands      %10d\n", s.Strands)
+	fmt.Fprintf(&b, "work items       %10d\n", s.WorkItems)
+	kinds := make([]Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "kind %-16s %8d\n", k.String(), s.ByKind[k])
+	}
+	return b.String()
+}
+
+// WorkDistances computes, for each completed work item after the first
+// on its thread, how many work items completed globally since the same
+// thread last completed one. The paper uses this "insert distance"
+// distribution to validate that tracing does not perturb thread
+// interleaving (§7). Returned values are ≥ 1; a single-threaded trace
+// yields all 1s.
+func WorkDistances(t *Trace) []int {
+	var distances []int
+	completed := 0
+	lastByThread := make(map[int32]int) // thread -> global completion index of its last work item
+	for _, e := range t.Events {
+		if e.Kind != EndWork {
+			continue
+		}
+		completed++
+		if prev, ok := lastByThread[e.TID]; ok {
+			distances = append(distances, completed-prev)
+		}
+		lastByThread[e.TID] = completed
+	}
+	return distances
+}

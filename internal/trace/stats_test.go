@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSampleTrace() *Trace {
+	tr := &Trace{}
+	tr.Emit(Event{Kind: Malloc, TID: 0, Addr: pa(0), Val: 128})
+	tr.Emit(Event{Kind: BeginWork, TID: 0, Val: 1})
+	tr.Emit(Event{Kind: Store, TID: 0, Addr: pa(0), Size: 8, Val: 1})
+	tr.Emit(Event{Kind: PersistBarrier, TID: 0})
+	tr.Emit(Event{Kind: Store, TID: 0, Addr: va(0), Size: 8, Val: 2})
+	tr.Emit(Event{Kind: EndWork, TID: 0, Val: 1})
+	tr.Emit(Event{Kind: BeginWork, TID: 1, Val: 2})
+	tr.Emit(Event{Kind: RMW, TID: 1, Addr: pa(8), Size: 8, Val: 3})
+	tr.Emit(Event{Kind: Load, TID: 1, Addr: pa(0), Size: 8})
+	tr.Emit(Event{Kind: NewStrand, TID: 1})
+	tr.Emit(Event{Kind: EndWork, TID: 1, Val: 2})
+	return tr
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(buildSampleTrace())
+	if s.Total != 11 {
+		t.Errorf("Total = %d", s.Total)
+	}
+	if s.Threads != 2 {
+		t.Errorf("Threads = %d", s.Threads)
+	}
+	if s.Loads != 2 { // Load + RMW
+		t.Errorf("Loads = %d", s.Loads)
+	}
+	if s.Stores != 3 { // 2 stores + RMW
+		t.Errorf("Stores = %d", s.Stores)
+	}
+	if s.Persists != 2 { // persistent store + persistent RMW
+		t.Errorf("Persists = %d", s.Persists)
+	}
+	if s.VolatileStores != 1 {
+		t.Errorf("VolatileStores = %d", s.VolatileStores)
+	}
+	if s.Barriers != 1 || s.Strands != 1 {
+		t.Errorf("Barriers=%d Strands=%d", s.Barriers, s.Strands)
+	}
+	if s.WorkItems != 2 {
+		t.Errorf("WorkItems = %d", s.WorkItems)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	out := Summarize(buildSampleTrace()).String()
+	for _, want := range []string{"events", "persists", "work items", "kind store"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkDistancesSingleThread(t *testing.T) {
+	tr := &Trace{}
+	for i := uint64(1); i <= 5; i++ {
+		tr.Emit(Event{Kind: BeginWork, TID: 0, Val: i})
+		tr.Emit(Event{Kind: EndWork, TID: 0, Val: i})
+	}
+	d := WorkDistances(tr)
+	if len(d) != 4 {
+		t.Fatalf("want 4 distances, got %d", len(d))
+	}
+	for _, v := range d {
+		if v != 1 {
+			t.Fatalf("single-thread distances must be 1, got %v", d)
+		}
+	}
+}
+
+func TestWorkDistancesInterleaved(t *testing.T) {
+	tr := &Trace{}
+	// Completion order: t0, t1, t0, t1 -> each repeat is distance 2.
+	tr.Emit(Event{Kind: EndWork, TID: 0, Val: 1})
+	tr.Emit(Event{Kind: EndWork, TID: 1, Val: 2})
+	tr.Emit(Event{Kind: EndWork, TID: 0, Val: 3})
+	tr.Emit(Event{Kind: EndWork, TID: 1, Val: 4})
+	d := WorkDistances(tr)
+	if len(d) != 2 || d[0] != 2 || d[1] != 2 {
+		t.Fatalf("want [2 2], got %v", d)
+	}
+}

@@ -1,0 +1,269 @@
+// Package trace defines the memory-access event model that the rest of
+// the reproduction is built around.
+//
+// The paper instruments its queue benchmarks with PIN to produce memory
+// access traces that observe sequential consistency, annotated with
+// persist barriers and persistent malloc/free (§7). Package trace is the
+// Go-side equivalent of that trace format: a totally ordered sequence of
+// Events (the SC order), produced by internal/exec and consumed by the
+// persistency-model timing simulator in internal/core and by the
+// recovery observer in internal/observer.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Kind enumerates memory-trace event types.
+type Kind uint8
+
+const (
+	// Invalid is the zero Kind; it never appears in valid traces.
+	Invalid Kind = iota
+	// Load is a data read of up to eight bytes.
+	Load
+	// Store is a data write of up to eight bytes. A Store to the
+	// persistent address space is a persist in the paper's terminology.
+	Store
+	// RMW is a successful atomic read-modify-write (compare-and-swap,
+	// swap, fetch-and-add). It has both load and store semantics for
+	// conflict detection; a failed CAS is traced as a plain Load.
+	RMW
+	// PersistBarrier divides a thread's execution into persist epochs
+	// (§5.2). Under strand persistency it orders persists within the
+	// current strand (§5.3). Strict persistency ignores it.
+	PersistBarrier
+	// NewStrand begins a new persist strand (§5.3): it clears all
+	// previously observed persist dependences on the issuing thread.
+	NewStrand
+	// PersistSync synchronizes instruction execution with persistent
+	// state under buffered strict persistency (§4.1): all prior persists
+	// must complete before execution proceeds.
+	PersistSync
+	// Malloc records a heap allocation; Addr is the base and Val the
+	// reserved size. Allocations in the persistent space delimit the
+	// persistent data structures, as in the paper's tracing framework.
+	Malloc
+	// Free records a heap release of the allocation based at Addr.
+	Free
+	// BeginWork and EndWork bracket one logical operation (one queue
+	// insert); Val carries the operation id. The harness uses them for
+	// per-insert critical-path accounting and for the paper's
+	// insert-distance tracing validation (§7).
+	BeginWork
+	// EndWork closes the bracket opened by BeginWork.
+	EndWork
+)
+
+// String returns the event-kind name used in dumps.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case RMW:
+		return "rmw"
+	case PersistBarrier:
+		return "persist-barrier"
+	case NewStrand:
+		return "new-strand"
+	case PersistSync:
+		return "persist-sync"
+	case Malloc:
+		return "malloc"
+	case Free:
+		return "free"
+	case BeginWork:
+		return "begin-work"
+	case EndWork:
+		return "end-work"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(k))
+	}
+}
+
+// IsAccess reports whether the kind reads or writes memory.
+func (k Kind) IsAccess() bool { return k == Load || k == Store || k == RMW }
+
+// HasStoreSemantics reports whether the kind writes memory (Store, RMW).
+func (k Kind) HasStoreSemantics() bool { return k == Store || k == RMW }
+
+// HasLoadSemantics reports whether the kind reads memory (Load, RMW).
+func (k Kind) HasLoadSemantics() bool { return k == Load || k == RMW }
+
+// Event is one entry of a memory trace. Events are totally ordered by
+// Seq; because the execution engine serializes simulated instructions,
+// this total order is the trace's sequentially consistent memory order.
+type Event struct {
+	// Seq is the event's position in the SC total order, assigned by the
+	// sink. The first event of a trace has Seq 0.
+	Seq uint64
+	// TID identifies the issuing simulated thread, starting at 0.
+	TID int32
+	// Kind is the event type.
+	Kind Kind
+	// Size is the access width in bytes (1..8) for Load/Store/RMW;
+	// 0 otherwise.
+	Size uint8
+	// Addr is the accessed address for Load/Store/RMW, the allocation
+	// base for Malloc/Free, and 0 otherwise.
+	Addr memory.Addr
+	// Val is the value written (Store/RMW), the reserved size (Malloc),
+	// or the operation id (BeginWork/EndWork).
+	Val uint64
+}
+
+// IsPersist reports whether the event durably writes NVRAM: a store or
+// RMW targeting the persistent address space.
+func (e Event) IsPersist() bool {
+	return e.Kind.HasStoreSemantics() && memory.IsPersistent(e.Addr)
+}
+
+// String renders the event for dumps and test failures.
+func (e Event) String() string {
+	switch {
+	case e.Kind.IsAccess():
+		return fmt.Sprintf("#%d t%d %s %#x/%d = %#x", e.Seq, e.TID, e.Kind, uint64(e.Addr), e.Size, e.Val)
+	case e.Kind == Malloc:
+		return fmt.Sprintf("#%d t%d malloc %#x size %d", e.Seq, e.TID, uint64(e.Addr), e.Val)
+	case e.Kind == Free:
+		return fmt.Sprintf("#%d t%d free %#x", e.Seq, e.TID, uint64(e.Addr))
+	case e.Kind == BeginWork || e.Kind == EndWork:
+		return fmt.Sprintf("#%d t%d %s op %d", e.Seq, e.TID, e.Kind, e.Val)
+	default:
+		return fmt.Sprintf("#%d t%d %s", e.Seq, e.TID, e.Kind)
+	}
+}
+
+// Validate checks structural invariants of a single event.
+func (e Event) Validate() error {
+	switch {
+	case e.Kind.IsAccess():
+		if e.Size == 0 || e.Size > memory.WordSize {
+			return fmt.Errorf("trace: %s with size %d", e.Kind, e.Size)
+		}
+		if _, err := memory.CheckRange(e.Addr, int(e.Size)); err != nil {
+			return fmt.Errorf("trace: %s: %w", e.Kind, err)
+		}
+	case e.Kind == Malloc, e.Kind == Free:
+		if memory.SpaceOf(e.Addr) == memory.Unmapped {
+			return fmt.Errorf("trace: %s of unmapped address %#x", e.Kind, uint64(e.Addr))
+		}
+	case e.Kind == Invalid:
+		return fmt.Errorf("trace: invalid event kind")
+	}
+	if e.TID < 0 {
+		return fmt.Errorf("trace: negative thread id %d", e.TID)
+	}
+	return nil
+}
+
+// Sink receives trace events in SC order. Implementations must not
+// retain the event beyond the call (it is a value type, so copying is
+// free anyway).
+type Sink interface {
+	Emit(Event)
+}
+
+// Discard is a Sink that drops all events; the execution engine uses it
+// when only native-speed execution is wanted.
+var Discard Sink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) Emit(Event) {}
+
+// Trace is an in-memory event sequence. The zero value is an empty
+// trace ready to use.
+type Trace struct {
+	Events []Event
+}
+
+// Emit appends an event, assigning its Seq; Trace implements Sink.
+func (t *Trace) Emit(e Event) {
+	e.Seq = uint64(len(t.Events))
+	t.Events = append(t.Events, e)
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Validate checks every event and the Seq numbering.
+func (t *Trace) Validate() error {
+	for i, e := range t.Events {
+		if e.Seq != uint64(i) {
+			return fmt.Errorf("trace: event %d has seq %d", i, e.Seq)
+		}
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Threads returns the number of distinct thread ids (max TID + 1).
+func (t *Trace) Threads() int {
+	max := int32(-1)
+	for _, e := range t.Events {
+		if e.TID > max {
+			max = e.TID
+		}
+	}
+	return int(max + 1)
+}
+
+// Filter returns the events satisfying keep, preserving order.
+func (t *Trace) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Persists returns the events that durably write NVRAM.
+func (t *Trace) Persists() []Event {
+	return t.Filter(Event.IsPersist)
+}
+
+// SplitByThread partitions the trace into per-thread subsequences
+// (program orders), indexed by TID. Events keep their global Seq so
+// positions in the SC order remain recoverable.
+func (t *Trace) SplitByThread() map[int32][]Event {
+	out := make(map[int32][]Event)
+	for _, e := range t.Events {
+		out[e.TID] = append(out[e.TID], e)
+	}
+	return out
+}
+
+// Slice returns the events with Seq in [from, to) as a new Trace with
+// renumbered Seqs — a window for scoped analysis. Bounds are clamped.
+func (t *Trace) Slice(from, to uint64) *Trace {
+	if to > uint64(len(t.Events)) {
+		to = uint64(len(t.Events))
+	}
+	if from > to {
+		from = to
+	}
+	out := &Trace{}
+	for _, e := range t.Events[from:to] {
+		out.Emit(e)
+	}
+	return out
+}
+
+// Tee is a Sink that forwards every event to all of its children.
+type Tee []Sink
+
+// Emit forwards e to each child sink.
+func (t Tee) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
