@@ -1,53 +1,100 @@
 // Command crashsim exercises the recovery observer (§4): it traces a
-// persistent-queue run, samples crash states (consistent cuts of the
-// persist-order DAG) under a persistency model, runs queue recovery on
+// persistent-structure run, samples crash states (consistent cuts of
+// the persist-order DAG) under a persistency model, runs recovery on
 // each, and reports the outcome.
 //
 // Usage:
 //
-//	crashsim [-workload queue|journal] [-design cwl|2lc]
+//	crashsim [-workload queue|journal|pstm] [-design cwl|2lc]
 //	         [-policy strict|epoch|racing|strand]
 //	         [-model strict|epoch|epoch-tso|strand] [-threads N]
 //	         [-inserts N] [-samples N] [-seed S]
 //	         [-break-barrier] [-omit-completion-barrier]
+//	         [-campaign] [-scenarios N] [-faults N]
+//	         [-replay REPRO]
 //
 // With -break-barrier the data→head barrier is dropped, and the
 // observer demonstrates the resulting corruption — the ordering
 // constraint made executable. The journal workload uses a small ring
 // so checkpoint truncations occur; try it with -policy racing to see
 // the per-algorithm unsafety discussed in EXPERIMENTS.md.
+//
+// With -campaign the sampled crash states are additionally perturbed
+// by injected device faults (torn/dropped persists, transient write
+// failures, media bit errors) and recovery runs in salvage mode, which
+// must mask, salvage, or detect every fault. A failing campaign prints
+// a minimized one-line repro; -replay takes that line and reproduces
+// the failure deterministically.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/journal"
 	"repro/internal/memory"
+	"repro/internal/nvram"
 	"repro/internal/observer"
+	"repro/internal/pstm"
 	"repro/internal/queue"
 	"repro/internal/trace"
 )
 
+// options carries everything needed to rebuild a workload — from flags
+// on a fresh run, or from a repro string's parameters on -replay.
+type options struct {
+	workload string
+	design   queue.Design
+	policy   queue.Policy
+	model    core.Model
+	threads  int
+	inserts  int
+	payload  int
+	seed     int64
+	breakBar bool
+	omitComp bool
+
+	designStr, policyStr string
+}
+
+// workloadRun is a traced execution plus its recovery adapters.
+type workloadRun struct {
+	tr       *trace.Trace
+	rec      observer.RecoverFunc        // strict recovery (plain observer)
+	checked  observer.CheckedRecoverFunc // salvage recovery + app invariants (campaigns)
+	describe string
+}
+
 func main() {
 	var (
-		workload   = flag.String("workload", "queue", "queue or journal")
-		designStr  = flag.String("design", "cwl", "cwl or 2lc")
+		workload   = flag.String("workload", "queue", "queue, journal, or pstm")
+		designStr  = flag.String("design", "cwl", "cwl or 2lc (queue only)")
 		policyStr  = flag.String("policy", "epoch", "strict|epoch|racing|strand")
 		modelStr   = flag.String("model", "", "persistency model (default: the policy's target model)")
 		threads    = flag.Int("threads", 2, "simulated threads")
-		inserts    = flag.Int("inserts", 16, "total inserts")
+		inserts    = flag.Int("inserts", 16, "total inserts/transactions")
 		samples    = flag.Int("samples", 500, "crash states to sample")
 		seed       = flag.Int64("seed", 1, "interleaving + sampling seed")
 		breakBar   = flag.Bool("break-barrier", false, "drop the data→head barrier (negative test)")
 		omitComp   = flag.Bool("omit-completion-barrier", false, "drop 2LC's completion barrier (negative test)")
-		payloadLen = flag.Int("payload", 64, "payload bytes")
+		payloadLen = flag.Int("payload", 64, "payload bytes (queue only)")
+		campaign   = flag.Bool("campaign", false, "run a fault-injection campaign (salvage recovery)")
+		scenarios  = flag.Int("scenarios", 1000, "campaign scenarios (cut × fault plan)")
+		faults     = flag.Int("faults", 3, "max injected faults per scenario")
+		replayStr  = flag.String("replay", "", "repro string from a failed campaign; replays it and exits")
 	)
 	flag.Parse()
+
+	if *replayStr != "" {
+		os.Exit(replay(*replayStr))
+	}
 
 	design, err := parseDesign(*designStr)
 	if err != nil {
@@ -58,6 +105,9 @@ func main() {
 		fatal(err)
 	}
 	model := bench.ModelFor(policy)
+	if *workload == "pstm" {
+		model = bench.PSTMModelFor(pstmPolicy(policy))
+	}
 	if *modelStr != "" {
 		model, err = parseModel(*modelStr)
 		if err != nil {
@@ -65,52 +115,213 @@ func main() {
 		}
 	}
 
-	// Trace the run.
-	tr := &trace.Trace{}
-	m := exec.NewMachine(exec.Config{Threads: *threads, Seed: *seed, Sink: tr})
-	s := m.SetupThread()
-	var rec observer.RecoverFunc
-	var describe string
-	switch *workload {
-	case "queue":
-		q, err := queue.New(s, queue.Config{
-			DataBytes:             dataBytes(*inserts, *payloadLen),
-			Design:                design,
-			Policy:                policy,
-			MaxThreads:            *threads,
-			BreakDataHeadOrder:    *breakBar,
-			OmitCompletionBarrier: *omitComp,
+	opts := options{
+		workload: *workload, design: design, policy: policy, model: model,
+		threads: *threads, inserts: *inserts, payload: *payloadLen, seed: *seed,
+		breakBar: *breakBar, omitComp: *omitComp,
+		designStr: *designStr, policyStr: *policyStr,
+	}
+	run, err := build(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload : %s\n", run.describe)
+	fmt.Printf("model    : %v\n", model)
+
+	if *campaign {
+		out, err := observer.Campaign(run.tr, core.Params{Model: model}, run.checked, observer.CampaignConfig{
+			Scenarios: *scenarios,
+			Seed:      *seed,
+			Gen:       fault.GenConfig{MaxFaults: *faults},
+			Params:    opts.params(),
+			Device:    campaignDevice(),
 		})
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Printf("campaign : %s\n", out)
+		if out.SilentBitSeen > 0 {
+			harmless := out.SilentBitSeen - out.SilentBitCaught - out.SilentBitMissed
+			fmt.Printf("silent-bit detection: %d scenarios injected silent flips: %d caught by checksums, %d harmless, %d corrupted state undetected (the documented exception)\n",
+				out.SilentBitSeen, out.SilentBitCaught, harmless, out.SilentBitMissed)
+		}
+		if out.Clean() {
+			fmt.Println("verdict  : every injected fault was masked, salvaged, or detected")
+			return
+		}
+		fmt.Printf("verdict  : %v\n", out.FirstFailureClass)
+		fmt.Printf("error    : %v\n", out.FirstError)
+		fmt.Printf("repro    : %s\n", out.FirstFailure.Repro())
+		os.Exit(2)
+	}
+
+	out, err := observer.CrashTest(run.tr, core.Params{Model: model}, run.rec, observer.Config{Samples: *samples, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("observer : %s\n", out)
+	if out.AllRecovered() {
+		fmt.Println("verdict  : every sampled crash state recovered correctly")
+	} else {
+		fmt.Println("verdict  : RECOVERY CORRECTNESS VIOLATED — the dropped/missing constraint is load-bearing")
+		os.Exit(2)
+	}
+}
+
+// campaignDevice is the timing model campaigns charge transient write
+// failures against.
+func campaignDevice() nvram.Config {
+	return nvram.Config{Latency: 100 * time.Nanosecond, RetryBackoff: 50 * time.Nanosecond}
+}
+
+// params serializes the workload options into repro-string parameters,
+// sufficient for replay to rebuild the identical trace.
+func (o options) params() []fault.Param {
+	ps := []fault.Param{
+		{Key: "workload", Value: o.workload},
+		{Key: "design", Value: o.designStr},
+		{Key: "policy", Value: o.policyStr},
+		{Key: "model", Value: o.model.String()},
+		{Key: "threads", Value: strconv.Itoa(o.threads)},
+		{Key: "inserts", Value: strconv.Itoa(o.inserts)},
+		{Key: "payload", Value: strconv.Itoa(o.payload)},
+		{Key: "seed", Value: strconv.FormatInt(o.seed, 10)},
+	}
+	if o.breakBar {
+		ps = append(ps, fault.Param{Key: "break-barrier", Value: "1"})
+	}
+	if o.omitComp {
+		ps = append(ps, fault.Param{Key: "omit-completion-barrier", Value: "1"})
+	}
+	return ps
+}
+
+// replay parses a repro string, rebuilds the recorded workload, and
+// re-runs the recorded scenario. Exit status 2 means the corruption
+// reproduced.
+func replay(line string) int {
+	s, err := fault.ParseRepro(line)
+	if err != nil {
+		fatal(err)
+	}
+	get := func(key, dflt string) string {
+		if v, ok := s.Param(key); ok {
+			return v
+		}
+		return dflt
+	}
+	atoi := func(key, dflt string) int {
+		v, err := strconv.Atoi(get(key, dflt))
+		if err != nil {
+			fatal(fmt.Errorf("repro param %s: %v", key, err))
+		}
+		return v
+	}
+	design, err := parseDesign(get("design", "cwl"))
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := parsePolicy(get("policy", "epoch"))
+	if err != nil {
+		fatal(err)
+	}
+	model, err := parseModel(get("model", "epoch"))
+	if err != nil {
+		fatal(err)
+	}
+	seed, err := strconv.ParseInt(get("seed", "1"), 10, 64)
+	if err != nil {
+		fatal(err)
+	}
+	opts := options{
+		workload: get("workload", "queue"), design: design, policy: policy, model: model,
+		threads: atoi("threads", "2"), inserts: atoi("inserts", "16"), payload: atoi("payload", "64"),
+		seed:     seed,
+		breakBar: get("break-barrier", "") == "1",
+		omitComp: get("omit-completion-barrier", "") == "1",
+	}
+	run, err := build(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload : %s\n", run.describe)
+	fmt.Printf("scenario : cut %d nodes, plan [%s]\n", s.Cut.Size(), s.Plan.String())
+	class, rerr := observer.Replay(run.tr, core.Params{Model: opts.model}, run.checked, s, campaignDevice())
+	if rerr != nil && class == observer.Masked {
+		// classify never produces Masked with an error; this is an
+		// infrastructure failure (graph build or cut/workload mismatch).
+		fatal(rerr)
+	}
+	fmt.Printf("class    : %v\n", class)
+	if class.Failure() {
+		fmt.Printf("verdict  : corruption reproduced (%v)\n", rerr)
+		return 2
+	}
+	fmt.Println("verdict  : scenario handled (masked/salvaged/detected)")
+	return 0
+}
+
+// build traces one workload run and wires up both recovery adapters.
+func build(o options) (*workloadRun, error) {
+	tr := &trace.Trace{}
+	m := exec.NewMachine(exec.Config{Threads: o.threads, Seed: o.seed, Sink: tr})
+	s := m.SetupThread()
+	run := &workloadRun{tr: tr}
+	switch o.workload {
+	case "queue":
+		q, err := queue.New(s, queue.Config{
+			DataBytes:             dataBytes(o.inserts, o.payload),
+			Design:                o.design,
+			Policy:                o.policy,
+			MaxThreads:            o.threads,
+			BreakDataHeadOrder:    o.breakBar,
+			OmitCompletionBarrier: o.omitComp,
+		})
+		if err != nil {
+			return nil, err
+		}
 		meta := q.Meta()
-		per := *inserts / *threads
+		per := o.inserts / o.threads
+		// Precomputed outside m.Run: simulated threads are goroutines,
+		// and a shared map write inside them is a host-level data race.
+		expect := make(map[string]bool)
+		for tid := 0; tid < o.threads; tid++ {
+			for i := 0; i < per; i++ {
+				expect[string(queue.MakePayload(uint64(tid)<<32|uint64(i), o.payload))] = true
+			}
+		}
 		m.Run(func(t *exec.Thread) {
 			for i := 0; i < per; i++ {
-				q.Insert(t, queue.MakePayload(uint64(t.TID())<<32|uint64(i), *payloadLen))
+				q.Insert(t, queue.MakePayload(uint64(t.TID())<<32|uint64(i), o.payload))
 			}
 		})
-		rec = func(im *memory.Image) error {
+		run.rec = func(im *memory.Image) error {
 			_, err := queue.Recover(im, meta)
 			return err
 		}
-		describe = fmt.Sprintf("%v queue, %v annotations, %d threads, %d inserts", design, policy, *threads, per**threads)
+		run.checked = func(im *memory.Image) (fault.RecoveryReport, error) {
+			entries, rep, err := queue.RecoverSalvage(im, meta)
+			if err != nil {
+				return rep, err
+			}
+			return rep, checkQueueEntries(entries, expect)
+		}
+		run.describe = fmt.Sprintf("%v queue, %v annotations, %d threads, %d inserts", o.design, o.policy, o.threads, per*o.threads)
 	case "journal":
-		jpol, err := journalPolicy(policy)
+		jpol, err := journalPolicy(o.policy)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		st, err := journal.New(s, journal.Config{
-			Blocks:       2 * *threads,
+			Blocks:       2 * o.threads,
 			JournalBytes: 1 << 11, // small ring: checkpoints occur
 			Policy:       jpol,
 		})
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		meta := st.Meta()
-		per := *inserts / *threads
+		per := o.inserts / o.threads
 		m.Run(func(t *exec.Thread) {
 			g := t.TID()
 			for i := 0; i < per; i++ {
@@ -121,38 +332,99 @@ func main() {
 				})
 			}
 		})
-		rec = func(im *memory.Image) error {
+		run.rec = func(im *memory.Image) error {
 			state, err := journal.Recover(im, meta)
 			if err != nil {
 				return err
 			}
-			for g := 0; g < *threads; g++ {
-				t0, ok0 := journal.BlockTag(state.Block(2 * g))
-				t1, ok1 := journal.BlockTag(state.Block(2*g + 1))
-				if !ok0 || !ok1 || t0 != t1 {
-					return fmt.Errorf("group %d torn (tags %d/%d intact %v/%v)", g, t0, t1, ok0, ok1)
-				}
-			}
-			return nil
+			return checkJournalPairs(state, o.threads)
 		}
-		describe = fmt.Sprintf("journal, %v annotations, %d threads, %d txns", policy, *threads, per**threads)
+		run.checked = func(im *memory.Image) (fault.RecoveryReport, error) {
+			state, rep, err := journal.RecoverSalvage(im, meta)
+			if err != nil {
+				return rep, err
+			}
+			return rep, checkJournalPairs(state, o.threads)
+		}
+		run.describe = fmt.Sprintf("journal, %v annotations, %d threads, %d txns", o.policy, o.threads, per*o.threads)
+	case "pstm":
+		ppol := pstmPolicy(o.policy)
+		h, err := pstm.New(s, pstm.Config{Words: 2 * o.threads, UndoCap: 8, Policy: ppol})
+		if err != nil {
+			return nil, err
+		}
+		meta := h.Meta()
+		per := o.inserts / o.threads
+		m.Run(func(t *exec.Thread) {
+			g := t.TID()
+			for i := 0; i < per; i++ {
+				v := uint64(t.TID()*100000 + i + 1)
+				h.Atomic(t, func(tx *pstm.Tx) {
+					tx.Store(2*g, v)
+					tx.Store(2*g+1, v)
+				})
+			}
+		})
+		run.rec = func(im *memory.Image) error {
+			state, err := pstm.Recover(im, meta)
+			if err != nil {
+				return err
+			}
+			return checkPSTMPairs(state, o.threads)
+		}
+		run.checked = func(im *memory.Image) (fault.RecoveryReport, error) {
+			state, rep, err := pstm.RecoverSalvage(im, meta)
+			if err != nil {
+				return rep, err
+			}
+			return rep, checkPSTMPairs(state, o.threads)
+		}
+		run.describe = fmt.Sprintf("pstm heap, %v annotations, %d threads, %d txns", ppol, o.threads, per*o.threads)
 	default:
-		fatal(fmt.Errorf("unknown workload %q", *workload))
+		return nil, fmt.Errorf("unknown workload %q", o.workload)
 	}
+	return run, nil
+}
 
-	out, err := observer.CrashTest(tr, core.Params{Model: model}, rec, observer.Config{Samples: *samples, Seed: *seed})
-	if err != nil {
-		fatal(err)
+// checkQueueEntries validates recovered entries against the insert set:
+// in offset order and carrying only payloads that were really inserted.
+func checkQueueEntries(entries []queue.Entry, expect map[string]bool) error {
+	var lastOff uint64
+	for i, e := range entries {
+		if !expect[string(e.Payload)] {
+			return fmt.Errorf("entry %d carries a payload never inserted", i)
+		}
+		if i > 0 && e.Offset <= lastOff {
+			return fmt.Errorf("entry %d out of order", i)
+		}
+		lastOff = e.Offset
 	}
-	fmt.Printf("workload : %s\n", describe)
-	fmt.Printf("model    : %v\n", model)
-	fmt.Printf("observer : %s\n", out)
-	if out.AllRecovered() {
-		fmt.Println("verdict  : every sampled crash state recovered correctly")
-	} else {
-		fmt.Println("verdict  : RECOVERY CORRECTNESS VIOLATED — the dropped/missing constraint is load-bearing")
-		os.Exit(2)
+	return nil
+}
+
+// checkJournalPairs validates the journal app invariant: each thread's
+// block pair was updated atomically, so tags match and blocks are
+// intact.
+func checkJournalPairs(state *journal.State, threads int) error {
+	for g := 0; g < threads; g++ {
+		t0, ok0 := journal.BlockTag(state.Block(2 * g))
+		t1, ok1 := journal.BlockTag(state.Block(2*g + 1))
+		if !ok0 || !ok1 || t0 != t1 {
+			return fmt.Errorf("group %d torn (tags %d/%d intact %v/%v)", g, t0, t1, ok0, ok1)
+		}
 	}
+	return nil
+}
+
+// checkPSTMPairs validates the pstm app invariant: transactions store
+// the same value to both words of a pair, so recovered pairs match.
+func checkPSTMPairs(state *pstm.State, threads int) error {
+	for g := 0; g < threads; g++ {
+		if a, b := state.Words[2*g], state.Words[2*g+1]; a != b {
+			return fmt.Errorf("pair %d torn (%d != %d)", g, a, b)
+		}
+	}
+	return nil
 }
 
 func dataBytes(inserts, payload int) uint64 {
@@ -199,6 +471,12 @@ func journalPolicy(p queue.Policy) (journal.Policy, error) {
 	default:
 		return 0, fmt.Errorf("unknown policy %v", p)
 	}
+}
+
+// pstmPolicy maps the shared -policy flag onto pstm's policy space
+// (the enums are parallel).
+func pstmPolicy(p queue.Policy) pstm.Policy {
+	return pstm.Policy(p)
 }
 
 func parseModel(s string) (core.Model, error) {

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"repro/internal/graph"
+	"repro/internal/memory"
+)
+
+// Frontier returns the cut's frontier: included persists with no
+// included dependents. These are the writes that may still have been
+// in flight at the moment of failure, so torn and dropped persists are
+// only legal there.
+func Frontier(g *graph.Graph, c graph.Cut) []graph.NodeID {
+	hasDep := make([]bool, g.Len())
+	for _, n := range g.Nodes {
+		if !c.Included[n.ID] {
+			continue
+		}
+		for _, e := range n.In {
+			hasDep[e.From] = true
+		}
+	}
+	var out []graph.NodeID
+	for i, n := range g.Nodes {
+		if c.Included[i] && n.Event.Kind.IsAccess() && !hasDep[i] {
+			out = append(out, graph.NodeID(i))
+		}
+	}
+	return out
+}
+
+// Materialize builds the post-crash NVRAM image of cut c perturbed by
+// plan p. It mirrors graph.Materialize — persists applied in trace
+// order — with the device faults layered in:
+//
+//   - Drop excludes the node; Torn applies only the Mask-selected
+//     bytes of its write. Both cascade: any included node depending on
+//     a dropped or torn node is excluded too, so hand-edited plans
+//     (e.g. a tweaked repro string) still yield reachable device
+//     states — a persist's dependents cannot have reached media before
+//     it did. Later faults override earlier ones on the same node.
+//   - Retry faults do not change the image (the write eventually
+//     succeeded); they only matter to nvram timing accounting.
+//   - Bit flips are applied after all writes; FlipDetected also
+//     poisons the word.
+//
+// With an empty plan, Materialize(g, c, Plan{}) equals
+// g.Materialize(c).
+func Materialize(g *graph.Graph, c graph.Cut, p Plan) *memory.Image {
+	drop := make(map[graph.NodeID]bool)
+	torn := make(map[graph.NodeID]uint8)
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case Drop:
+			drop[f.Node] = true
+			delete(torn, f.Node)
+		case Torn:
+			torn[f.Node] = f.Mask
+			delete(drop, f.Node)
+		}
+	}
+
+	im := memory.NewImage()
+	// excluded marks nodes removed by a drop/tear or by depending on
+	// one; the forward pass works because trace-built graphs are in
+	// topological order with edges pointing backward.
+	excluded := make([]bool, g.Len())
+	for i, n := range g.Nodes {
+		id := graph.NodeID(i)
+		if !c.Included[i] {
+			continue
+		}
+		if drop[id] {
+			excluded[i] = true
+			continue
+		}
+		_, isTorn := torn[id]
+		for _, e := range n.In {
+			if excluded[e.From] || (c.Included[e.From] && tornAncestor(torn, e.From)) {
+				excluded[i] = true
+				break
+			}
+		}
+		if excluded[i] || !n.Event.Kind.IsAccess() {
+			continue
+		}
+		var b [memory.WordSize]byte
+		for j := 0; j < int(n.Event.Size); j++ {
+			b[j] = byte(n.Event.Val >> (8 * j))
+		}
+		if isTorn {
+			mask := torn[id]
+			for j := 0; j < int(n.Event.Size); j++ {
+				if mask&(1<<uint(j)) == 0 {
+					continue
+				}
+				im.WriteBytes(n.Event.Addr+memory.Addr(j), b[j:j+1])
+			}
+			continue
+		}
+		im.WriteBytes(n.Event.Addr, b[:n.Event.Size])
+	}
+
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case FlipDetected:
+			im.FlipBit(f.Addr, f.Bit)
+			im.Poison(f.Addr)
+		case FlipSilent:
+			im.FlipBit(f.Addr, f.Bit)
+		}
+	}
+	return im
+}
+
+// tornAncestor reports whether from is torn (a torn persist's
+// dependents are excluded like a dropped persist's: it never fully
+// reached media).
+func tornAncestor(torn map[graph.NodeID]uint8, from graph.NodeID) bool {
+	_, ok := torn[from]
+	return ok
+}

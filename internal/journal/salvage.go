@@ -1,0 +1,123 @@
+package journal
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/memory"
+)
+
+// Salvage recovery: the fault-tolerant counterpart of Recover.
+//
+// Recover fails on the first invalid record below CommittedHead — the
+// right contract when crash states are clean cuts and any invalid
+// committed record proves an annotation bug. On a faulty device a
+// record can be torn or bit-rotted individually; records are
+// fixed-size, so the scan resynchronizes trivially at the next slot.
+// A quarantined record leaves its table block un-redone (possibly
+// stale or torn in place) — that degradation is exactly what the
+// report discloses; a later valid record for the same block heals it.
+func RecoverSalvage(im *memory.Image, meta Meta) (*State, fault.RecoveryReport, error) {
+	var rep fault.RecoveryReport
+	if meta.Blocks <= 0 || meta.JournalBytes == 0 || meta.JournalBytes%64 != 0 {
+		return nil, rep, fmt.Errorf("journal: bad recovery metadata")
+	}
+	st := &State{Table: make([][]byte, meta.Blocks)}
+	for i := 0; i < meta.Blocks; i++ {
+		b := make([]byte, BlockBytes)
+		base := meta.Table + memory.Addr(i*BlockBytes)
+		im.ReadBytes(base, b)
+		st.Table[i] = b
+		if im.RangePoisoned(base, BlockBytes) {
+			rep.PoisonedWords++
+			rep.Note("table block %d poisoned", i)
+		}
+	}
+	rep.BytesScanned += uint64(meta.Blocks * BlockBytes)
+
+	committed := im.ReadWord(meta.CommittedHead)
+	ckpt := im.ReadWord(meta.Checkpoint)
+	if im.Poisoned(meta.CommittedHead) || im.Poisoned(meta.Checkpoint) {
+		if im.Poisoned(meta.CommittedHead) {
+			rep.PoisonedWords++
+		}
+		if im.Poisoned(meta.Checkpoint) {
+			rep.PoisonedWords++
+		}
+		rep.HeaderQuarantined = true
+		rep.Note("committed/checkpoint poisoned")
+	}
+	// Both pointers advance in record-slot steps, so they stay
+	// word-aligned; a torn persist of either shows up as misalignment
+	// or an implausible window.
+	if committed%memory.WordSize != 0 || ckpt%memory.WordSize != 0 ||
+		ckpt > committed || committed-ckpt > meta.JournalBytes {
+		rep.HeaderQuarantined = true
+		rep.Note("implausible committed %d / checkpoint %d", committed, ckpt)
+	}
+	if rep.HeaderQuarantined {
+		// Without a trustworthy redo window nothing can be replayed;
+		// the table is returned as-is, disclosed as degraded.
+		return st, rep, nil
+	}
+
+	txns := make(map[uint64]bool)
+	for pos := ckpt; pos < committed; {
+		idx := pos % meta.JournalBytes
+		base := meta.Journal + memory.Addr(idx)
+		if idx+recordBytes > meta.JournalBytes {
+			// Writers always wrap here; the marker's actual value only
+			// tells us whether the wrap word itself survived.
+			if !im.Poisoned(base) && im.ReadWord(base) != wrapKind {
+				rep.Quarantined++
+				rep.Note("corrupt wrap marker at offset %d", pos)
+			} else if im.Poisoned(base) {
+				rep.PoisonedWords++
+			}
+			rep.BytesScanned += memory.WordSize
+			pos += meta.JournalBytes - idx
+			continue
+		}
+		rep.BytesScanned += recordBytes
+		quarantine := func(reason string) {
+			rep.Quarantined++
+			rep.Note("record at offset %d: %s", pos, reason)
+			pos += recordBytes
+		}
+		if im.RangePoisoned(base, recordBytes) {
+			rep.PoisonedWords++
+			quarantine("poisoned")
+			continue
+		}
+		kind := im.ReadWord(base)
+		if kind == wrapKind {
+			// A wrap marker where a record fits: the writer never does
+			// that, so the slot is corrupt; skip one record slot.
+			quarantine("unexpected wrap marker")
+			continue
+		}
+		if kind != kindData {
+			quarantine(fmt.Sprintf("bad kind %#x", kind))
+			continue
+		}
+		txn := im.ReadWord(base + 8)
+		blk := im.ReadWord(base + 16)
+		data := make([]byte, BlockBytes)
+		im.ReadBytes(base+24, data)
+		if im.ReadWord(base+24+BlockBytes) != recordChecksum(pos, txn, blk, data) {
+			quarantine("checksum mismatch")
+			continue
+		}
+		if blk >= uint64(meta.Blocks) {
+			quarantine(fmt.Sprintf("block %d out of range", blk))
+			continue
+		}
+		copy(st.Table[blk], data)
+		st.Records++
+		rep.Recovered++
+		txns[txn] = true
+		pos += recordBytes
+	}
+	st.Txns = len(txns)
+	return st, rep, nil
+}

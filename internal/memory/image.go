@@ -15,8 +15,17 @@ import (
 // Storage is a map of aligned 8-byte words; untouched words read as
 // zero, matching NVRAM that was never written. Image is not safe for
 // concurrent use.
+//
+// An Image additionally carries a *poison set*: words the simulated
+// device reports as detectable-uncorrectable media errors (the ECC
+// fired but could not correct). Reads of poisoned words still return
+// the stored — possibly corrupted — bytes; fault-tolerant recovery
+// routines consult Poisoned/RangePoisoned and must quarantine, not
+// trust, such data. Silent media errors (flips the ECC misses) are
+// modeled by FlipBit without a poison mark.
 type Image struct {
-	words map[Addr]uint64
+	words  map[Addr]uint64
+	poison map[Addr]struct{}
 }
 
 // NewImage returns an empty persistent-space snapshot.
@@ -24,14 +33,64 @@ func NewImage() *Image {
 	return &Image{words: make(map[Addr]uint64)}
 }
 
-// Clone returns a deep copy of the image.
+// Clone returns a deep copy of the image, poison marks included.
 func (im *Image) Clone() *Image {
 	c := NewImage()
 	for a, w := range im.words {
 		c.words[a] = w
 	}
+	if len(im.poison) > 0 {
+		c.poison = make(map[Addr]struct{}, len(im.poison))
+		for a := range im.poison {
+			c.poison[a] = struct{}{}
+		}
+	}
 	return c
 }
+
+// FlipBit inverts one bit of the byte at address a (bit in 0..7),
+// modeling a media bit error. The word containing a need not have been
+// written: never-written NVRAM can rot too.
+func (im *Image) FlipBit(a Addr, bit uint8) {
+	if bit > 7 {
+		panic(fmt.Sprintf("memory: FlipBit bit %d out of range", bit))
+	}
+	w := AlignDown(a, WordSize)
+	im.words[w] ^= 1 << (8*uint(a-w) + uint(bit))
+}
+
+// Poison marks the word containing a as a detectable-uncorrectable
+// media error.
+func (im *Image) Poison(a Addr) {
+	if im.poison == nil {
+		im.poison = make(map[Addr]struct{})
+	}
+	im.poison[AlignDown(a, WordSize)] = struct{}{}
+}
+
+// Poisoned reports whether the word containing a carries a detectable
+// media error.
+func (im *Image) Poisoned(a Addr) bool {
+	_, ok := im.poison[AlignDown(a, WordSize)]
+	return ok
+}
+
+// RangePoisoned reports whether any word overlapping [a, a+size)
+// carries a detectable media error.
+func (im *Image) RangePoisoned(a Addr, size int) bool {
+	if len(im.poison) == 0 || size <= 0 {
+		return false
+	}
+	for w := AlignDown(a, WordSize); w < a+Addr(size); w += WordSize {
+		if _, ok := im.poison[w]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// PoisonedWords returns the number of words marked poisoned.
+func (im *Image) PoisonedWords() int { return len(im.poison) }
 
 // WriteWord stores an 8-byte value at an 8-byte-aligned persistent
 // address. It panics on misalignment or a non-persistent address:
@@ -94,7 +153,8 @@ func (im *Image) WrittenWords() []Addr {
 }
 
 // Equal reports whether two images contain identical content (treating
-// unwritten words as zero).
+// unwritten words as zero). Poison marks are metadata, not content, and
+// are ignored.
 func (im *Image) Equal(other *Image) bool {
 	for a, w := range im.words {
 		if other.words[a] != w {

@@ -98,6 +98,57 @@ func TestImageWrittenWordsSorted(t *testing.T) {
 	}
 }
 
+func TestImageFlipBit(t *testing.T) {
+	im := NewImage()
+	a := PersistentBase + 40
+	im.WriteWord(a, 0)
+	im.FlipBit(a+3, 5) // byte 3, bit 5
+	if got, want := im.ReadWord(a), uint64(1)<<(8*3+5); got != want {
+		t.Fatalf("FlipBit: got %#x want %#x", got, want)
+	}
+	im.FlipBit(a+3, 5) // flipping twice restores
+	if got := im.ReadWord(a); got != 0 {
+		t.Fatalf("double flip should restore zero, got %#x", got)
+	}
+	// Flipping an unwritten word materializes it.
+	im.FlipBit(PersistentBase+1024, 0)
+	if got := im.ReadWord(PersistentBase + 1024); got != 1 {
+		t.Fatalf("flip of unwritten word: got %#x", got)
+	}
+}
+
+func TestImagePoison(t *testing.T) {
+	im := NewImage()
+	a := PersistentBase + 64
+	if im.Poisoned(a) || im.RangePoisoned(a, 64) {
+		t.Fatal("fresh image should not be poisoned")
+	}
+	im.Poison(a + 5) // marks the containing word
+	if !im.Poisoned(a) {
+		t.Fatal("word containing poisoned byte should report poisoned")
+	}
+	if im.Poisoned(a + 8) {
+		t.Fatal("neighbor word should not be poisoned")
+	}
+	if !im.RangePoisoned(a-16, 24) {
+		t.Fatal("range overlapping the poisoned word should report poisoned")
+	}
+	if im.RangePoisoned(a-16, 16) {
+		t.Fatal("range short of the poisoned word should be clean")
+	}
+	if im.PoisonedWords() != 1 {
+		t.Fatalf("PoisonedWords = %d", im.PoisonedWords())
+	}
+	// Clone carries poison; Equal ignores it.
+	c := im.Clone()
+	if !c.Poisoned(a) {
+		t.Fatal("clone should carry poison marks")
+	}
+	if !c.Equal(im) {
+		t.Fatal("poison marks must not affect Equal")
+	}
+}
+
 // Property: WriteBytes then ReadBytes is identity for any offset/content.
 func TestImageByteProperty(t *testing.T) {
 	f := func(off uint16, data []byte) bool {

@@ -49,6 +49,16 @@ type Config struct {
 	MLCSlowFraction float64
 	// MLCFactor is the slow-write multiplier; 0 means 4.
 	MLCFactor int
+	// MaxRetries bounds write attempts per persist when a fault
+	// profile injects transient failures (ScheduleWithFaults): a
+	// persist still failing after MaxRetries attempts is abandoned and
+	// counted in Result.FailedPersists. 0 means 8.
+	MaxRetries int
+	// RetryBackoff is the device-side wait before re-attempting a
+	// failed write; the k-th failed attempt (1-based) waits
+	// RetryBackoff << (k-1), the usual bounded exponential backoff.
+	// 0 means no backoff (immediate retry).
+	RetryBackoff time.Duration
 }
 
 func (c *Config) normalize() error {
@@ -72,6 +82,12 @@ func (c *Config) normalize() error {
 	}
 	if c.MLCFactor < 1 {
 		return fmt.Errorf("nvram: MLC factor %d must be >= 1", c.MLCFactor)
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
+	}
+	if c.MaxRetries < 0 || c.RetryBackoff < 0 {
+		return fmt.Errorf("nvram: negative retry parameters")
 	}
 	return nil
 }
@@ -107,6 +123,16 @@ type Result struct {
 	WearMax int
 	// WearBlocks is the number of distinct blocks written.
 	WearBlocks int
+	// Retries is the total number of failed write attempts injected by
+	// the fault profile (each re-attempt also wears its block).
+	Retries int
+	// RetryTime is the extra device occupancy transient failures cost:
+	// re-attempt service time plus backoff waits.
+	RetryTime time.Duration
+	// FailedPersists counts persists abandoned after MaxRetries
+	// attempts; their data never reached media (the campaign layer
+	// models the state-space side as a dropped persist).
+	FailedPersists int
 }
 
 // channelHeap is a min-heap of channel free times.
@@ -124,10 +150,24 @@ func (h *channelHeap) Pop() interface{} {
 	return x
 }
 
+// FaultProfile assigns injected transient write failures to persist
+// nodes: the value is the number of attempts that fail before the
+// write sticks (fault.Plan.RetryProfile produces one). Attempts beyond
+// Config.MaxRetries mean the persist is abandoned.
+type FaultProfile map[graph.NodeID]int
+
 // Schedule lays the persist DAG onto the device and returns timing and
 // wear statistics. Nodes must be in topological order with edges
 // pointing backward (true for graph.Build output).
 func Schedule(g *graph.Graph, cfg Config) (Result, error) {
+	return ScheduleWithFaults(g, cfg, nil)
+}
+
+// ScheduleWithFaults is Schedule with transient write failures charged
+// into the timing model: a persist with k injected failures occupies
+// its bank/channel for k+1 service times plus the bounded exponential
+// backoff between attempts, and wears its block once per attempt.
+func ScheduleWithFaults(g *graph.Graph, cfg Config, faults FaultProfile) (Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return Result{}, err
 	}
@@ -166,26 +206,46 @@ func Schedule(g *graph.Graph, cfg Config) (Result, error) {
 		start := ready
 		blk := memory.BlockOf(node.Event.Addr, cfg.AtomicGranularity)
 		lat := cfg.writeLatency(blk, res.Persists)
+		// Transient failures: k failed attempts then (usually) success.
+		// The persist occupies its bank/channel for every attempt plus
+		// the backoff waits, and each attempt wears the block.
+		attempts := 1
+		if fails := faults[graph.NodeID(i)]; fails > 0 {
+			if fails >= cfg.MaxRetries {
+				// Abandoned: MaxRetries attempts, all failed.
+				fails = cfg.MaxRetries
+				attempts = fails
+				res.FailedPersists++
+			} else {
+				attempts = fails + 1
+			}
+			res.Retries += fails
+		}
+		service := time.Duration(attempts) * lat
+		for k := 1; k < attempts; k++ {
+			service += cfg.RetryBackoff << uint(k-1)
+		}
+		res.RetryTime += service - lat
 		if cfg.Banks > 0 {
 			b := int(uint64(blk) % uint64(cfg.Banks))
 			if bankFree[b] > start {
 				start = bankFree[b]
 			}
-			bankFree[b] = start + lat
+			bankFree[b] = start + service
 		}
 		if cfg.Channels > 0 {
 			// Take the earliest-free channel.
 			if channels[0] > start {
 				start = channels[0]
 			}
-			channels[0] = start + lat
+			channels[0] = start + service
 			heap.Fix(&channels, 0)
 		}
-		finish[i] = start + lat
+		finish[i] = start + service
 		if finish[i] > res.Makespan {
 			res.Makespan = finish[i]
 		}
-		wear[blk]++
+		wear[blk] += attempts
 		if wear[blk] > res.WearMax {
 			res.WearMax = wear[blk]
 		}

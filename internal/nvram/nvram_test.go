@@ -225,3 +225,70 @@ func TestDependencesRespectBanks(t *testing.T) {
 		t.Fatal("chain on one bank is ordering-bound, not device-bound")
 	}
 }
+
+func TestRetryAccounting(t *testing.T) {
+	// A strict chain of 3 persists; the middle one fails twice.
+	g := buildDAG(t, core.Strict, func(tr *trace.Trace) {
+		for i := uint64(0); i < 3; i++ {
+			store(tr, 0, paddr(i))
+		}
+	})
+	lat := 100 * time.Nanosecond
+	backoff := 10 * time.Nanosecond
+	cfg := Config{Latency: lat, RetryBackoff: backoff}
+	r, err := ScheduleWithFaults(g, cfg, FaultProfile{1: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retries != 2 || r.FailedPersists != 0 {
+		t.Fatalf("Retries = %d, FailedPersists = %d", r.Retries, r.FailedPersists)
+	}
+	// Extra cost: 2 more attempts + backoffs 10ns and 20ns.
+	wantExtra := 2*lat + backoff + backoff<<1
+	if r.RetryTime != wantExtra {
+		t.Fatalf("RetryTime = %v, want %v", r.RetryTime, wantExtra)
+	}
+	if want := 3*lat + wantExtra; r.Makespan != want {
+		t.Fatalf("Makespan = %v, want %v", r.Makespan, want)
+	}
+	// The failing block wears once per attempt.
+	if r.WearMax != 3 {
+		t.Fatalf("WearMax = %d, want 3", r.WearMax)
+	}
+	// No profile reproduces plain Schedule exactly.
+	plain, err := Schedule(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Retries != 0 || plain.RetryTime != 0 || plain.Makespan != 3*lat {
+		t.Fatalf("plain schedule perturbed: %+v", plain)
+	}
+}
+
+func TestRetryAbandonsAfterMaxRetries(t *testing.T) {
+	g := buildDAG(t, core.Strict, func(tr *trace.Trace) {
+		store(tr, 0, paddr(0))
+	})
+	cfg := Config{Latency: 100 * time.Nanosecond, MaxRetries: 3}
+	r, err := ScheduleWithFaults(g, cfg, FaultProfile{0: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FailedPersists != 1 {
+		t.Fatalf("FailedPersists = %d, want 1", r.FailedPersists)
+	}
+	// Charged exactly MaxRetries attempts, all failed.
+	if r.Retries != 3 || r.WearMax != 3 {
+		t.Fatalf("Retries = %d, WearMax = %d, want 3, 3", r.Retries, r.WearMax)
+	}
+}
+
+func TestRetryConfigValidation(t *testing.T) {
+	g := buildDAG(t, core.Strict, func(tr *trace.Trace) { store(tr, 0, paddr(0)) })
+	if _, err := Schedule(g, Config{Latency: time.Microsecond, MaxRetries: -1}); err == nil {
+		t.Error("negative MaxRetries should fail")
+	}
+	if _, err := Schedule(g, Config{Latency: time.Microsecond, RetryBackoff: -time.Nanosecond}); err == nil {
+		t.Error("negative RetryBackoff should fail")
+	}
+}

@@ -1,0 +1,380 @@
+// Fault campaigns: the observer's crash-state enumeration composed
+// with device-fault injection (internal/fault).
+//
+// The plain observer asks "does recovery survive every reachable crash
+// state?". A campaign asks the harsher question: "does recovery
+// survive every reachable crash state *on a misbehaving device*?" —
+// torn persists, dropped persists, transient write failures, and media
+// bit errors layered onto each sampled cut. The correctness bar is
+// fail-stop, not fail-free: every injected fault must be masked (no
+// observable effect), salvaged (bounded data loss, disclosed in the
+// RecoveryReport), or detected. The one documented exception is a
+// silent bit flip that defeats the checksums; campaigns report those
+// as a detection-rate statistic rather than a failure.
+package observer
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/memory"
+	"repro/internal/nvram"
+	"repro/internal/trace"
+)
+
+// CheckedRecoverFunc is the campaign-side recovery contract: run the
+// application's salvage recovery against a post-crash image, validate
+// the recovered state against application invariants, and return what
+// the recovery layer *reported* alongside what the validation *found*.
+// A non-nil error with a clean report is the definition of silent
+// corruption.
+type CheckedRecoverFunc func(*memory.Image) (fault.RecoveryReport, error)
+
+// Class classifies one campaign scenario.
+type Class int
+
+const (
+	// Masked: recovery succeeded and reported nothing — the faults had
+	// no observable effect.
+	Masked Class = iota
+	// Salvaged: recovery disclosed degradation (quarantined/dropped
+	// entries, poisoned media) and the recovered state satisfied the
+	// application's invariants for the surviving data.
+	Salvaged
+	// SilentBitMissed: the scenario injected a silent bit flip that
+	// defeated the checksums — the one documented hole in the
+	// fail-stop guarantee (an 8-byte FNV keyed checksum is not ECC).
+	SilentBitMissed
+	// AnnotationCorrupt: the *fault-free* baseline for this cut already
+	// fails recovery — a persist-ordering annotation bug, found exactly
+	// as the plain observer finds it.
+	AnnotationCorrupt
+	// SilentCorrupt: recovery returned success with a clean report but
+	// the application invariants do not hold, and no silent bit flip
+	// excuses it. A campaign finding one of these is a harness failure.
+	SilentCorrupt
+)
+
+func (c Class) String() string {
+	switch c {
+	case Masked:
+		return "masked"
+	case Salvaged:
+		return "salvaged"
+	case SilentBitMissed:
+		return "silent-bit-missed"
+	case AnnotationCorrupt:
+		return "annotation-corrupt"
+	case SilentCorrupt:
+		return "SILENT-CORRUPT"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Failure reports whether the class fails the campaign bar.
+func (c Class) Failure() bool { return c == AnnotationCorrupt || c == SilentCorrupt }
+
+// CampaignConfig parameterizes a fault campaign.
+type CampaignConfig struct {
+	// Scenarios is the number of (cut, plan) scenarios. 0 means 1000.
+	Scenarios int
+	// Seed drives cut sampling and plan generation when Rand is nil.
+	Seed int64
+	// Rand, when non-nil, supplies all campaign randomness; campaigns
+	// with the same Rand stream are identical regardless of Seed. This
+	// is what makes a repro string self-contained: replay needs no
+	// state beyond the recorded cut and plan.
+	Rand *rand.Rand
+	// KeepProbs sweeps cut-inclusion probabilities as in Config.
+	KeepProbs []float64
+	// Gen parameterizes fault-plan generation.
+	Gen fault.GenConfig
+	// Params are workload parameters baked into emitted repro strings
+	// (workload name, design, seed — whatever rebuilds the trace).
+	Params []fault.Param
+	// Device, when Latency > 0, charges each plan's transient write
+	// failures into the nvram timing model and accumulates the cost.
+	Device nvram.Config
+	// MinimizeBudget caps recovery executions spent shrinking the first
+	// failure. 0 means 2000; negative disables minimization.
+	MinimizeBudget int
+}
+
+func (c *CampaignConfig) normalize() {
+	if c.Scenarios == 0 {
+		c.Scenarios = 1000
+	}
+	if len(c.KeepProbs) == 0 {
+		c.KeepProbs = []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.999}
+	}
+	if c.MinimizeBudget == 0 {
+		c.MinimizeBudget = 2000
+	}
+}
+
+// CampaignOutcome tallies a campaign.
+type CampaignOutcome struct {
+	Model     core.Model
+	Persists  int
+	Scenarios int
+
+	Masked            int
+	Salvaged          int
+	SilentBitMissed   int
+	AnnotationCorrupt int
+	SilentCorrupt     int
+
+	// SilentBitSeen / SilentBitCaught give the silent-flip detection
+	// rate: scenarios whose plan carried a silent flip, and how many of
+	// those recovery nonetheless flagged.
+	SilentBitSeen   int
+	SilentBitCaught int
+
+	// FirstFailure is the minimized repro of the first failing
+	// scenario (class.Failure()), nil when the campaign is clean.
+	FirstFailure      *fault.Scenario
+	FirstFailureClass Class
+	FirstError        error
+
+	// Aggregated nvram retry cost (Device.Latency > 0 only).
+	Retries        int
+	RetryTime      time.Duration
+	FailedPersists int
+}
+
+// Clean reports whether the campaign met the bar: no annotation bugs,
+// no silent corruption. Undetected silent bit flips do not fail it.
+func (o CampaignOutcome) Clean() bool {
+	return o.AnnotationCorrupt == 0 && o.SilentCorrupt == 0
+}
+
+func (o CampaignOutcome) String() string {
+	s := fmt.Sprintf("model %v: %d persists, %d scenarios: %d masked, %d salvaged",
+		o.Model, o.Persists, o.Scenarios, o.Masked, o.Salvaged)
+	if o.SilentBitSeen > 0 {
+		s += fmt.Sprintf(", silent bits %d/%d caught", o.SilentBitCaught, o.SilentBitSeen)
+	}
+	if o.Retries > 0 {
+		s += fmt.Sprintf(", %d retries (+%v, %d abandoned)", o.Retries, o.RetryTime, o.FailedPersists)
+	}
+	if !o.Clean() {
+		s += fmt.Sprintf("; %d ANNOTATION-CORRUPT, %d SILENT-CORRUPT", o.AnnotationCorrupt, o.SilentCorrupt)
+	}
+	return s
+}
+
+// effectivePlan resolves transient-failure abandonment into state
+// effects: a Retry fault reaching MaxRetries on a frontier persist
+// means the data never hit media — a drop. A non-frontier persist
+// cannot have been abandoned (its dependents persisted, so the write
+// eventually stuck), so there the retry stays timing-only.
+func effectivePlan(g *graph.Graph, c graph.Cut, p fault.Plan, maxRetries int) fault.Plan {
+	if maxRetries <= 0 {
+		maxRetries = 8 // nvram.Config default
+	}
+	onFrontier := map[graph.NodeID]bool{}
+	for _, n := range fault.Frontier(g, c) {
+		onFrontier[n] = true
+	}
+	out := p
+	for node, fails := range p.RetryProfile() {
+		if fails >= maxRetries && onFrontier[node] {
+			out = fault.Plan{Faults: append(append([]fault.Fault{}, out.Faults...),
+				fault.Fault{Kind: fault.Drop, Node: node})}
+		}
+	}
+	return out
+}
+
+// classify runs one scenario: the fault-free baseline first (isolating
+// annotation bugs from device-fault handling bugs), then the faulted
+// image.
+func classify(g *graph.Graph, c graph.Cut, p fault.Plan, rec CheckedRecoverFunc, maxRetries int) (Class, error) {
+	baseRep, baseErr := rec(g.Materialize(c))
+	if baseErr != nil || baseRep.Detected() {
+		// The cut itself — no faults — fails or trips the salvage
+		// detectors. Default-annotation workloads keep salvage reports
+		// clean on every legal cut, so this is an ordering bug.
+		if baseErr == nil {
+			baseErr = fmt.Errorf("fault-free baseline not clean: %s", baseRep.String())
+		}
+		return AnnotationCorrupt, baseErr
+	}
+	rep, err := rec(fault.Materialize(g, c, effectivePlan(g, c, p, maxRetries)))
+	switch {
+	case err == nil && !rep.Detected():
+		return Masked, nil
+	case rep.Detected():
+		return Salvaged, err
+	case p.HasSilentFlip():
+		return SilentBitMissed, err
+	default:
+		if err == nil {
+			err = fmt.Errorf("undetected corruption")
+		}
+		return SilentCorrupt, err
+	}
+}
+
+// Campaign sweeps Scenarios random (cut, fault-plan) pairs over the
+// traced execution, classifies each, and minimizes the first failure
+// into a replayable repro.
+func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg CampaignConfig) (CampaignOutcome, error) {
+	cfg.normalize()
+	g, err := graph.Build(tr, p)
+	if err != nil {
+		return CampaignOutcome{}, err
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	out := CampaignOutcome{Model: p.Model, Persists: g.Len()}
+	maxRetries := cfg.Device.MaxRetries
+
+	// Adversarial prelude: the first scenarios use single-victim cuts
+	// (everything persisted except one node and its dependents), which
+	// deterministically expose any ordering hazard that hinges on one
+	// persist — random cut sampling can miss narrow hazards. The
+	// baseline check runs on every scenario's cut, so the prelude vets
+	// annotations even while fault plans perturb the images.
+	adversarial := g.Len()
+	if adversarial > cfg.Scenarios/2 {
+		adversarial = cfg.Scenarios / 2
+	}
+
+	for i := 0; i < cfg.Scenarios; i++ {
+		var c graph.Cut
+		if i < adversarial {
+			c = g.DropCut(graph.NodeID(i))
+		} else {
+			keep := cfg.KeepProbs[i%len(cfg.KeepProbs)]
+			c = g.SampleCut(rng, keep)
+		}
+		words := g.Materialize(c).WrittenWords()
+		plan := fault.GenPlan(rng, g, c, words, cfg.Gen)
+		class, cerr := classify(g, c, plan, rec, maxRetries)
+		out.Scenarios++
+		if plan.HasSilentFlip() {
+			out.SilentBitSeen++
+			if class == Salvaged {
+				out.SilentBitCaught++
+			}
+		}
+		switch class {
+		case Masked:
+			out.Masked++
+		case Salvaged:
+			out.Salvaged++
+		case SilentBitMissed:
+			out.SilentBitMissed++
+		case AnnotationCorrupt:
+			out.AnnotationCorrupt++
+		case SilentCorrupt:
+			out.SilentCorrupt++
+		}
+		if class.Failure() && out.FirstFailure == nil {
+			mc, mp := c, plan
+			if class == AnnotationCorrupt {
+				mp = fault.Plan{} // the empty plan already fails
+			}
+			if cfg.MinimizeBudget > 0 {
+				mc, mp = MinimizeScenario(g, mc, mp, func(c2 graph.Cut, p2 fault.Plan) bool {
+					cl, _ := classify(g, c2, p2, rec, maxRetries)
+					return cl == class
+				}, cfg.MinimizeBudget)
+			}
+			out.FirstFailure = &fault.Scenario{Params: cfg.Params, Cut: mc, Plan: mp}
+			out.FirstFailureClass = class
+			out.FirstError = cerr
+		}
+		if cfg.Device.Latency > 0 {
+			if prof := plan.RetryProfile(); len(prof) > 0 {
+				res, serr := nvram.ScheduleWithFaults(g, cfg.Device, prof)
+				if serr != nil {
+					return out, serr
+				}
+				out.Retries += res.Retries
+				out.RetryTime += res.RetryTime
+				out.FailedPersists += res.FailedPersists
+			}
+		}
+	}
+	return out, nil
+}
+
+// MinimizeScenario greedily shrinks a failing scenario while bad()
+// keeps returning true: first removes faults one at a time, then
+// excludes frontier nodes from the cut (frontier removal keeps the cut
+// downward-closed, so every intermediate scenario stays a reachable
+// crash state), looping until a fixpoint or the budget runs out. The
+// result is never larger than the input — faults and cut nodes are
+// only ever removed.
+func MinimizeScenario(g *graph.Graph, c graph.Cut, p fault.Plan, bad func(graph.Cut, fault.Plan) bool, budget int) (graph.Cut, fault.Plan) {
+	spend := func() bool { budget--; return budget >= 0 }
+	changed := true
+	for changed {
+		changed = false
+		// Pass 1: drop faults that are not needed for the failure.
+		for i := 0; i < p.Len(); {
+			q := p.Without(i)
+			if !spend() {
+				return c, p
+			}
+			if bad(c, q) {
+				p = q
+				changed = true
+			} else {
+				i++
+			}
+		}
+		// Pass 2: shrink the cut one frontier node at a time.
+		for {
+			shrunk := false
+			for _, n := range fault.Frontier(g, c) {
+				c2 := graph.Cut{Included: append([]bool{}, c.Included...)}
+				c2.Included[n] = false
+				if !spend() {
+					return c, p
+				}
+				if bad(c2, p) {
+					c, shrunk, changed = c2, true, true
+					break // frontier changed; recompute
+				}
+			}
+			if !shrunk {
+				break
+			}
+		}
+	}
+	return c, p
+}
+
+// Replay re-runs a parsed repro scenario against a freshly rebuilt
+// trace and returns its classification. The caller must rebuild the
+// workload with the same parameters recorded in the scenario (the
+// graph's node count is checked as a cheap guard against mismatched
+// workloads).
+func Replay(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, s *fault.Scenario, dev nvram.Config) (Class, error) {
+	g, err := graph.Build(tr, p)
+	if err != nil {
+		return Masked, err
+	}
+	if g.Len() != len(s.Cut.Included) {
+		return Masked, fmt.Errorf("observer: repro cut covers %d persists but workload produced %d (wrong parameters?)",
+			len(s.Cut.Included), g.Len())
+	}
+	if !g.Valid(s.Cut) {
+		return Masked, fmt.Errorf("observer: repro cut is not downward-closed for this workload")
+	}
+	return ReplayOnGraph(g, rec, s, dev)
+}
+
+// ReplayOnGraph is Replay against an already-built graph.
+func ReplayOnGraph(g *graph.Graph, rec CheckedRecoverFunc, s *fault.Scenario, dev nvram.Config) (Class, error) {
+	return classify(g, s.Cut, s.Plan, rec, dev.MaxRetries)
+}

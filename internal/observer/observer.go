@@ -38,6 +38,10 @@ type Config struct {
 	Samples int
 	// Seed drives cut sampling.
 	Seed int64
+	// Rand, when non-nil, supplies the sampling randomness instead of
+	// Seed, letting callers share one stream across sweeps and replay
+	// them exactly.
+	Rand *rand.Rand
 	// KeepProbs are the inclusion probabilities to sweep; crashes near
 	// the end of execution (keep→1) and near the beginning (keep→0)
 	// exercise different recovery paths. Nil means {0.05, 0.25, 0.5,
@@ -92,7 +96,10 @@ func CrashTest(tr *trace.Trace, p core.Params, rec RecoverFunc, cfg Config) (Out
 		return Outcome{}, err
 	}
 	out := Outcome{Model: p.Model, Persists: g.Len()}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
 	try := func(c graph.Cut) {
 		out.Cuts++
 		if err := rec(g.Materialize(c)); err != nil {

@@ -1,0 +1,118 @@
+package pstm
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/memory"
+)
+
+// Salvage recovery: the fault-tolerant counterpart of Recover.
+//
+// Plain Recover stops at the first undo record whose checksum fails
+// and calls it the arming frontier — correct for clean crash states,
+// where records persist strictly in slot order. A faulty device can
+// tear record k while record k+1 survives; treating k as the frontier
+// would silently skip k+1's rollback. RecoverSalvage therefore scans
+// every slot: invalid slots *below the last valid slot* are torn
+// current-transaction records (quarantined, rollback degraded to
+// best-effort), while invalid slots beyond the last valid one are the
+// normal arming frontier. In clean states the two scans agree exactly,
+// so salvage reports are clean wherever Recover succeeds.
+func RecoverSalvage(im *memory.Image, meta Meta) (*State, fault.RecoveryReport, error) {
+	var rep fault.RecoveryReport
+	if meta.Words <= 0 || meta.UndoCap <= 0 {
+		return nil, rep, fmt.Errorf("pstm: bad recovery metadata")
+	}
+	st := &State{Words: make([]uint64, meta.Words)}
+	for i := 0; i < meta.Words; i++ {
+		a := meta.Data + memory.Addr(i*8)
+		st.Words[i] = im.ReadWord(a)
+		if im.Poisoned(a) {
+			rep.PoisonedWords++
+			rep.Note("data word %d poisoned", i)
+		}
+	}
+	rep.BytesScanned += uint64(meta.Words) * memory.WordSize
+
+	armed := im.ReadWord(meta.TxnID)
+	done := im.ReadWord(meta.Done)
+	rep.BytesScanned += 2 * memory.WordSize
+	if im.Poisoned(meta.TxnID) || im.Poisoned(meta.Done) {
+		if im.Poisoned(meta.TxnID) {
+			rep.PoisonedWords++
+		}
+		if im.Poisoned(meta.Done) {
+			rep.PoisonedWords++
+		}
+		rep.HeaderQuarantined = true
+		rep.Note("armed/seal words poisoned")
+	}
+	if done > armed {
+		rep.HeaderQuarantined = true
+		rep.Note("seal %d beyond armed id %d", done, armed)
+	}
+	if rep.HeaderQuarantined {
+		// No way to tell whether a transaction was in flight; the data
+		// words are returned as-is, disclosed as degraded.
+		return st, rep, nil
+	}
+	if armed == 0 || done == armed {
+		return st, rep, nil // nothing in flight, or it committed
+	}
+
+	// Transaction `armed` is unsealed: collect every slot that
+	// validates against it.
+	type undoRec struct {
+		word, old uint64
+	}
+	valid := make([]bool, meta.UndoCap)
+	recs := make([]undoRec, meta.UndoCap)
+	poisoned := make([]bool, meta.UndoCap)
+	last := -1
+	for k := 0; k < meta.UndoCap; k++ {
+		base := meta.Undo + memory.Addr(k*recordBytes)
+		rep.BytesScanned += recordBytes
+		if im.RangePoisoned(base, 24) {
+			rep.PoisonedWords++
+			poisoned[k] = true
+			continue
+		}
+		w := im.ReadWord(base)
+		old := im.ReadWord(base + 8)
+		if im.ReadWord(base+16) != recChecksum(armed, k, w, old) {
+			continue
+		}
+		if w >= uint64(meta.Words) {
+			// A validating checksum over an out-of-range target is
+			// corruption beyond doubt, not a frontier.
+			rep.Quarantined++
+			rep.Note("undo record %d targets word %d out of range", k, w)
+			continue
+		}
+		valid[k], recs[k] = true, undoRec{w, old}
+		last = k
+	}
+	// Slots at or below the last valid one that failed to validate are
+	// torn/rotted records of the armed transaction.
+	for k := 0; k < last; k++ {
+		if !valid[k] {
+			rep.Quarantined++
+			if poisoned[k] {
+				rep.Note("undo record %d poisoned; rollback incomplete", k)
+			} else {
+				rep.Note("undo record %d torn; rollback incomplete", k)
+			}
+		}
+	}
+	// Best-effort rollback, newest first.
+	for k := last; k >= 0; k-- {
+		if valid[k] {
+			st.Words[recs[k].word] = recs[k].old
+			st.Undone++
+			rep.Recovered++
+		}
+	}
+	st.RolledBack = st.Undone > 0
+	return st, rep, nil
+}
