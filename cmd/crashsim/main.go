@@ -28,10 +28,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -44,6 +48,7 @@ import (
 	"repro/internal/observer"
 	"repro/internal/pstm"
 	"repro/internal/queue"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -89,8 +94,39 @@ func main() {
 		scenarios  = flag.Int("scenarios", 1000, "campaign scenarios (cut × fault plan)")
 		faults     = flag.Int("faults", 3, "max injected faults per scenario")
 		replayStr  = flag.String("replay", "", "repro string from a failed campaign; replays it and exits")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}()
 
 	if *replayStr != "" {
 		os.Exit(replay(*replayStr))
@@ -129,15 +165,35 @@ func main() {
 	fmt.Printf("model    : %v\n", model)
 
 	if *campaign {
+		reg := telemetry.NewRegistry()
+		wlabel := run.describe
+		stop := reg.Timer(telemetry.Label("crashsim_campaign", "workload", wlabel)).Time()
 		out, err := observer.Campaign(run.tr, core.Params{Model: model}, run.checked, observer.CampaignConfig{
 			Scenarios: *scenarios,
 			Seed:      *seed,
 			Gen:       fault.GenConfig{MaxFaults: *faults},
 			Params:    opts.params(),
 			Device:    campaignDevice(),
+			// Live progress: update the registry's campaign gauges and
+			// print a running counter line to stderr.
+			Progress: func(o observer.CampaignOutcome) {
+				telemetry.ObserveCampaign(reg, wlabel, o)
+				fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d scenarios (%d masked, %d salvaged, %d corrupt)",
+					o.Scenarios, *scenarios, o.Masked, o.Salvaged, o.AnnotationCorrupt+o.SilentCorrupt)
+				if o.Scenarios == *scenarios {
+					fmt.Fprintln(os.Stderr)
+				}
+			},
 		})
 		if err != nil {
 			fatal(err)
+		}
+		stop()
+		telemetry.ObserveCampaign(reg, wlabel, out)
+		if *metricsOut != "" {
+			if merr := writeMetrics(reg, *metricsOut); merr != nil {
+				fatal(merr)
+			}
 		}
 		fmt.Printf("campaign : %s\n", out)
 		if out.SilentBitSeen > 0 {
@@ -145,6 +201,7 @@ func main() {
 			fmt.Printf("silent-bit detection: %d scenarios injected silent flips: %d caught by checksums, %d harmless, %d corrupted state undetected (the documented exception)\n",
 				out.SilentBitSeen, out.SilentBitCaught, harmless, out.SilentBitMissed)
 		}
+		printCampaignJSON(out)
 		if out.Clean() {
 			fmt.Println("verdict  : every injected fault was masked, salvaged, or detected")
 			return
@@ -166,6 +223,45 @@ func main() {
 		fmt.Println("verdict  : RECOVERY CORRECTNESS VIOLATED — the dropped/missing constraint is load-bearing")
 		os.Exit(2)
 	}
+}
+
+// printCampaignJSON emits the machine-readable one-line campaign
+// summary (the last stdout line before the verdict), so scripts can
+// consume outcomes without parsing the human-oriented text.
+func printCampaignJSON(out observer.CampaignOutcome) {
+	b, err := json.Marshal(map[string]any{
+		"model":              out.Model.String(),
+		"persists":           out.Persists,
+		"scenarios":          out.Scenarios,
+		"masked":             out.Masked,
+		"salvaged":           out.Salvaged,
+		"silent_bit_missed":  out.SilentBitMissed,
+		"annotation_corrupt": out.AnnotationCorrupt,
+		"silent_corrupt":     out.SilentCorrupt,
+		"silent_bit_seen":    out.SilentBitSeen,
+		"silent_bit_caught":  out.SilentBitCaught,
+		"retries":            out.Retries,
+		"failed_persists":    out.FailedPersists,
+		"clean":              out.Clean(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\n", b)
+}
+
+// writeMetrics snapshots the registry: Prometheus text for .prom/.txt
+// paths, JSON otherwise.
+func writeMetrics(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		return reg.WritePrometheus(f)
+	}
+	return reg.WriteJSON(f)
 }
 
 // campaignDevice is the timing model campaigns charge transient write

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -29,6 +31,7 @@ import (
 	"repro/internal/nvram"
 	"repro/internal/queue"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -41,9 +44,30 @@ func main() {
 		payload    = flag.Int("payload", 100, "entry payload bytes")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		instrRate  = flag.Float64("instr-rate", 0, "fix the instruction rate (items/s) instead of measuring")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON reports (table1/fig2/fig3/fig4/fig5/window)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON persist timeline (Perfetto) to this file")
+		traceIns   = flag.Int("trace-inserts", 200, "inserts per configuration in the -trace-out timeline pass")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	reg := telemetry.NewRegistry()
 	threads, err := parseInts(*threadsStr)
 	if err != nil {
 		fatal(err)
@@ -52,11 +76,17 @@ func main() {
 		if *experiment != "all" && *experiment != name {
 			return
 		}
-		fmt.Printf("=== %s ===\n", name)
+		stop := reg.Timer(telemetry.Label("pqbench_experiment", "experiment", name)).Time()
+		if !*jsonOut {
+			fmt.Printf("=== %s ===\n", name)
+		}
 		if err := fn(); err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
-		fmt.Println()
+		stop()
+		if !*jsonOut {
+			fmt.Println()
+		}
 	}
 	emit := func(t *stats.Table) {
 		if *csv {
@@ -67,12 +97,19 @@ func main() {
 	}
 
 	run("table1", func() error {
-		rows, err := bench.Table1(bench.Table1Config{
+		cfg := bench.Table1Config{
 			Inserts: *inserts, PayloadLen: *payload, Threads: threads,
 			Latency: *latency, Seed: *seed, InstrRate: *instrRate,
-		})
+		}
+		rows, err := bench.Table1(cfg)
 		if err != nil {
 			return err
+		}
+		for _, r := range rows {
+			telemetry.ObserveResult(reg, fmt.Sprintf("%v/%v/%dT", r.Design, r.Policy, r.Threads), r.Result)
+		}
+		if *jsonOut {
+			return bench.Table1Report(cfg, rows).WriteJSON(os.Stdout)
 		}
 		fmt.Printf("persist-bound insert rate normalized to instruction rate (latency %v)\n", *latency)
 		fmt.Println("values >= 1 (marked *) are instruction-rate-bound, as bolded in the paper")
@@ -97,6 +134,9 @@ func main() {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			return bench.Fig2Report(rows).WriteJSON(os.Stdout)
+		}
 		fmt.Println("queue persist dependence structure (CWL, 1 thread): constraint edges by class")
 		fmt.Println("epoch removes the paper's 'A' constraints (intra-insert serialization);")
 		fmt.Println("strand removes 'B' (inter-insert serialization), leaving atomicity edges")
@@ -108,6 +148,9 @@ func main() {
 		points, err := bench.Fig3(bench.Fig3Config{Inserts: *inserts, PayloadLen: *payload, Seed: *seed, InstrRate: *instrRate})
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return bench.Fig3Report(points).WriteJSON(os.Stdout)
 		}
 		fmt.Println("achievable rate (million inserts/s) vs persist latency; CWL, 1 thread")
 		emit(bench.RenderFig3(points))
@@ -122,6 +165,9 @@ func main() {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			return bench.GranReport("fig4", points).WriteJSON(os.Stdout)
+		}
 		fmt.Println("persist critical path per insert vs atomic persist granularity (tracking 8B)")
 		emit(bench.RenderGran(points, "atomic"))
 		return nil
@@ -131,6 +177,9 @@ func main() {
 		points, err := bench.Fig5(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed})
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return bench.GranReport("fig5", points).WriteJSON(os.Stdout)
 		}
 		fmt.Println("persist critical path per insert vs dependence tracking granularity (atomic 8B)")
 		emit(bench.RenderGran(points, "tracking"))
@@ -159,6 +208,7 @@ func main() {
 			if banks == 0 {
 				label = "inf"
 			}
+			telemetry.ObserveDevice(reg, "banks="+label, r)
 			tbl.AddRow(label, r.Makespan.String(), r.IdealMakespan.String(),
 				strconv.FormatBool(r.DeviceBound), strconv.Itoa(r.WearMax))
 		}
@@ -171,6 +221,9 @@ func main() {
 		points, err := bench.WindowAblation(min(*inserts, 5000), *seed, nil)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return bench.WindowReport(points).WriteJSON(os.Stdout)
 		}
 		fmt.Println("coalescing-window ablation: strand-annotated CWL, 1 thread")
 		fmt.Println("(a finite persist buffer bounds the otherwise unbounded head coalescing)")
@@ -328,6 +381,106 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *experiment))
 	}
+
+	if *traceOut != "" {
+		maxT := 1
+		for _, t := range threads {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		if err := tracePass(reg, *traceOut, maxT, *payload, *traceIns, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// tracePass re-runs a small instance of each queue configuration with
+// the persist-timeline tracer attached, verifies every tracer against
+// its simulation result, prints the critical-path attribution reports,
+// and exports one Perfetto-loadable Chrome trace with a process per
+// configuration.
+func tracePass(reg *telemetry.Registry, path string, threads, payload, inserts int, seed int64) error {
+	models := []core.Model{core.Strict, core.Epoch, core.Strand}
+	policies := []queue.Policy{queue.PolicyStrict, queue.PolicyEpoch, queue.PolicyStrand}
+	var tracers []*telemetry.Tracer
+	fmt.Println("=== persist timeline ===")
+	for _, d := range []queue.Design{queue.CWL, queue.TwoLock} {
+		for i, m := range models {
+			w := bench.Workload{
+				Design: d, Policy: policies[i],
+				Threads: threads, Inserts: inserts, PayloadLen: payload, Seed: seed,
+			}
+			meta, err := bench.QueueMeta(w)
+			if err != nil {
+				return err
+			}
+			tr := telemetry.NewTracer(m, w.String())
+			tr.SiteLabel = bench.SiteLabel(meta)
+			sim, err := core.NewSim(core.Params{Model: m})
+			if err != nil {
+				return err
+			}
+			sim.SetProbe(tr)
+			// CountingSink feeds the per-thread op-mix series while the
+			// simulator consumes the same stream.
+			if _, err := bench.Run(w, telemetry.NewCountingSink(reg, sim)); err != nil {
+				return err
+			}
+			if err := sim.Err(); err != nil {
+				return err
+			}
+			r := sim.Result()
+			if err := tr.Verify(r); err != nil {
+				return fmt.Errorf("%v: %w", w, err)
+			}
+			telemetry.ObserveResult(reg, w.String(), r)
+			tr.ObserveMetrics(reg)
+			fmt.Print(tr.Attribute(3).Render())
+			fmt.Println()
+			tracers = append(tracers, tr)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := telemetry.EncodeChromeTrace(f, tracers...); err != nil {
+		return err
+	}
+	fmt.Printf("wrote persist timeline for %d configurations to %s (load in Perfetto or chrome://tracing)\n", len(tracers), path)
+	return nil
+}
+
+// writeMetrics snapshots the registry: Prometheus text for .prom/.txt
+// paths, JSON otherwise.
+func writeMetrics(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		return reg.WritePrometheus(f)
+	}
+	return reg.WriteJSON(f)
 }
 
 func parseInts(s string) ([]int, error) {

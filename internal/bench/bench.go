@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/memory"
 	"repro/internal/queue"
 	"repro/internal/trace"
 )
@@ -123,9 +124,19 @@ func Trace(w Workload) (*trace.Trace, error) {
 // Simulate executes the workload once, streaming directly into a
 // persistency-model simulator (no trace storage).
 func Simulate(w Workload, p core.Params) (core.Result, error) {
+	return SimulateProbed(w, p, nil)
+}
+
+// SimulateProbed is Simulate with a persist-timeline probe attached to
+// the simulator (telemetry tracers implement core.Probe); a nil probe
+// is plain Simulate.
+func SimulateProbed(w Workload, p core.Params, probe core.Probe) (core.Result, error) {
 	sim, err := core.NewSim(p)
 	if err != nil {
 		return core.Result{}, err
+	}
+	if probe != nil {
+		sim.SetProbe(probe)
 	}
 	if _, err := Run(w, sim); err != nil {
 		return core.Result{}, err
@@ -134,6 +145,44 @@ func Simulate(w Workload, p core.Params) (core.Result, error) {
 		return core.Result{}, err
 	}
 	return sim.Result(), nil
+}
+
+// QueueMeta reports the persistent layout Run creates for w without
+// executing the workload: queue.New allocates head, tail, then the data
+// segment deterministically, so a fresh machine reproduces the
+// addresses the real run will use.
+func QueueMeta(w Workload) (queue.Meta, error) {
+	if err := w.normalize(); err != nil {
+		return queue.Meta{}, err
+	}
+	m := exec.NewMachine(exec.Config{Threads: w.Threads, Seed: w.Seed, Sink: trace.Discard})
+	s := m.SetupThread()
+	q, err := queue.New(s, queue.Config{
+		DataBytes: w.DataBytes, Design: w.Design, Policy: w.Policy,
+		MaxThreads: w.Threads, Overwrite: w.Overwrite,
+	})
+	if err != nil {
+		return queue.Meta{}, err
+	}
+	return q.Meta(), nil
+}
+
+// SiteLabel maps persist addresses to the queue's annotation sites
+// ("head", "tail", "slot data") given its layout — the labeler
+// critical-path attribution reports use.
+func SiteLabel(meta queue.Meta) func(memory.Addr) string {
+	return func(a memory.Addr) string {
+		switch {
+		case a >= meta.Head && a < meta.Head+memory.Addr(memory.WordSize):
+			return "head"
+		case a >= meta.Tail && a < meta.Tail+memory.Addr(memory.WordSize):
+			return "tail"
+		case a >= meta.Data && a < meta.Data+memory.Addr(meta.DataBytes):
+			return "slot data"
+		default:
+			return "other"
+		}
+	}
 }
 
 // ModelFor maps an annotation policy to the persistency model it is

@@ -37,6 +37,8 @@ type Sim struct {
 	// lastWorkPath is the critical path at the previous EndWork (for
 	// Params.TrackWorkPath).
 	lastWorkPath int64
+	// probe, when non-nil, observes the persist timeline (telemetry).
+	probe Probe
 }
 
 // openPersist is an atomic block's most recent NVRAM write: candidates
@@ -44,6 +46,24 @@ type Sim struct {
 type openPersist struct {
 	lvl int64
 	seq int64 // global placement number when opened
+	id  int64 // placed-persist id (provenance)
+}
+
+// Alongside every Ctx the simulator keeps a provenance id: the placed
+// persist (0-based placement order) that supplies the context's Lvl, or
+// -1 when none does. The pair satisfies the invariant that a
+// non-negative src always names a persist whose level equals Ctx.Lvl,
+// so a probe can reconstruct the exact constraint chain behind the
+// scalar critical path — and verifying that reconstruction against
+// Result.CriticalPath cross-checks the timing model.
+
+// srcOf returns the provenance of merge(a, b): the source supplying the
+// higher level, preferring a known source on ties.
+func srcOf(a Ctx, aSrc int64, b Ctx, bSrc int64) int64 {
+	if b.Lvl > a.Lvl || (b.Lvl == a.Lvl && aSrc < 0) {
+		return bSrc
+	}
+	return aSrc
 }
 
 // threadState is the per-thread dependence state.
@@ -61,6 +81,12 @@ type threadState struct {
 	// epoch; program order across a barrier orders them before the next
 	// epoch's persists.
 	epochMax Ctx
+	// Provenance ids for the three contexts (see srcOf).
+	activeSrc, pendingSrc, epochMaxSrc int64
+	// epoch and strand count the thread's annotation marks (for probes;
+	// maintained regardless of model so timelines show the annotation
+	// structure even where the model ignores it).
+	epoch, strand int64
 }
 
 // blockState is the per-tracking-block dependence state.
@@ -76,6 +102,8 @@ type blockState struct {
 	// atomic block): strong persist atomicity orders same-block persists
 	// under every model, and coarse tracking makes this false sharing.
 	lastP Ctx
+	// Provenance ids for the three contexts (see srcOf).
+	writerSrc, readerSrc, lastPSrc int64
 }
 
 // NewSim constructs a simulator; Params are validated here.
@@ -121,7 +149,10 @@ func (s *Sim) Emit(e trace.Event) {
 func (s *Sim) thread(tid int32) *threadState {
 	t, ok := s.threads[tid]
 	if !ok {
-		t = &threadState{active: zeroCtx, pending: zeroCtx, epochMax: zeroCtx}
+		t = &threadState{
+			active: zeroCtx, pending: zeroCtx, epochMax: zeroCtx,
+			activeSrc: -1, pendingSrc: -1, epochMaxSrc: -1,
+		}
 		s.threads[tid] = t
 	}
 	return t
@@ -130,7 +161,10 @@ func (s *Sim) thread(tid int32) *threadState {
 func (s *Sim) block(b memory.BlockID) *blockState {
 	bs, ok := s.blocks[b]
 	if !ok {
-		bs = &blockState{writer: zeroCtx, reader: zeroCtx, lastP: zeroCtx}
+		bs = &blockState{
+			writer: zeroCtx, reader: zeroCtx, lastP: zeroCtx,
+			writerSrc: -1, readerSrc: -1, lastPSrc: -1,
+		}
 		s.blocks[b] = bs
 	}
 	return bs
@@ -155,13 +189,23 @@ func (s *Sim) Feed(e trace.Event) error {
 			s.volatileStore(e)
 		}
 	case trace.PersistBarrier:
+		t := s.thread(e.TID)
 		if s.spec.barriers {
-			s.barrier(s.thread(e.TID))
+			s.barrier(t)
+		}
+		t.epoch++
+		if s.probe != nil {
+			s.probe.EpochMark(e.TID, s.res.Events-1, t.epoch, false)
 		}
 	case trace.NewStrand:
+		t := s.thread(e.TID)
 		if s.spec.strands {
-			t := s.thread(e.TID)
 			t.active, t.pending, t.epochMax = zeroCtx, zeroCtx, zeroCtx
+			t.activeSrc, t.pendingSrc, t.epochMaxSrc = -1, -1, -1
+		}
+		t.strand++
+		if s.probe != nil {
+			s.probe.StrandMark(e.TID, s.res.Events-1, t.strand)
 		}
 	case trace.PersistSync:
 		// Buffered strict persistency's sync (§4.1): execution waits for
@@ -170,13 +214,24 @@ func (s *Sim) Feed(e trace.Event) error {
 		t := s.thread(e.TID)
 		s.barrier(t)
 		s.res.Syncs++
+		t.epoch++
+		if s.probe != nil {
+			s.probe.EpochMark(e.TID, s.res.Events-1, t.epoch, true)
+		}
 	case trace.EndWork:
 		s.res.WorkItems++
 		if s.params.TrackWorkPath {
 			s.res.WorkPathDeltas = append(s.res.WorkPathDeltas, s.res.CriticalPath-s.lastWorkPath)
 			s.lastWorkPath = s.res.CriticalPath
 		}
-	case trace.BeginWork, trace.Malloc, trace.Free:
+		if s.probe != nil {
+			s.probe.WorkMark(e.TID, s.res.Events-1, e.Val, false)
+		}
+	case trace.BeginWork:
+		if s.probe != nil {
+			s.probe.WorkMark(e.TID, s.res.Events-1, e.Val, true)
+		}
+	case trace.Malloc, trace.Free:
 		// No ordering significance. (Reusing freed persistent memory
 		// legitimately inherits the old block's persist state: addresses
 		// are physical.)
@@ -188,9 +243,12 @@ func (s *Sim) Feed(e trace.Event) error {
 
 // barrier folds the epoch state into the active dependence set.
 func (s *Sim) barrier(t *threadState) {
-	t.active = mergeAll(t.active, t.pending, t.epochMax)
-	t.pending = zeroCtx
-	t.epochMax = zeroCtx
+	src := srcOf(t.active, t.activeSrc, t.pending, t.pendingSrc)
+	ap := merge(t.active, t.pending)
+	t.activeSrc = srcOf(ap, src, t.epochMax, t.epochMaxSrc)
+	t.active = merge(ap, t.epochMax)
+	t.pending, t.pendingSrc = zeroCtx, -1
+	t.epochMax, t.epochMaxSrc = zeroCtx, -1
 }
 
 // trackingBlocks iterates the tracking blocks spanned by an access.
@@ -211,11 +269,14 @@ func (s *Sim) load(e trace.Event) {
 	t := s.thread(e.TID)
 	s.trackingBlocks(e, func(bs *blockState) {
 		if s.spec.immediate {
+			t.activeSrc = srcOf(t.active, t.activeSrc, bs.writer, bs.writerSrc)
 			t.active = merge(t.active, bs.writer)
 		} else {
+			t.pendingSrc = srcOf(t.pending, t.pendingSrc, bs.writer, bs.writerSrc)
 			t.pending = merge(t.pending, bs.writer)
 		}
 		if s.spec.loadBeforeStore {
+			bs.readerSrc = srcOf(bs.reader, bs.readerSrc, t.active, t.activeSrc)
 			bs.reader = merge(bs.reader, t.active)
 		}
 	})
@@ -231,16 +292,20 @@ func (s *Sim) volatileStore(e trace.Event) {
 	}
 	t := s.thread(e.TID)
 	s.trackingBlocks(e, func(bs *blockState) {
+		inheritSrc := srcOf(bs.writer, bs.writerSrc, bs.reader, bs.readerSrc)
 		inherit := merge(bs.writer, bs.reader)
 		if s.spec.immediate {
+			t.activeSrc = srcOf(t.active, t.activeSrc, inherit, inheritSrc)
 			t.active = merge(t.active, inherit)
 		} else {
+			t.pendingSrc = srcOf(t.pending, t.pendingSrc, inherit, inheritSrc)
 			t.pending = merge(t.pending, inherit)
 		}
 		// Export: what later conflicting accesses are ordered after.
 		// Prior writer/reader contexts stay folded in for transitivity.
-		bs.writer = mergeAll(bs.writer, bs.reader, t.active)
-		bs.reader = zeroCtx
+		bs.writerSrc = srcOf(inherit, inheritSrc, t.active, t.activeSrc)
+		bs.writer = merge(inherit, t.active)
+		bs.reader, bs.readerSrc = zeroCtx, -1
 	})
 }
 
@@ -253,49 +318,97 @@ func (s *Sim) persist(e trace.Event) {
 	t := s.thread(e.TID)
 
 	// Gather the dependence context across all spanned tracking blocks,
-	// and remember them for the post-placement update.
+	// and remember them for the post-placement update. Alongside the
+	// scalar merge, track which persist supplies the maximum level and
+	// through which channel it arrived — the channel is the constraint's
+	// class (program order from the thread, conflict from writer/reader
+	// contexts, atomicity from the block's last persist).
 	dep := t.active
+	depSrc, depClass := t.activeSrc, DepProgramOrder
+	absorb := func(c Ctx, src int64, class DepClass) {
+		if c.Lvl > dep.Lvl || (c.Lvl == dep.Lvl && depSrc < 0 && src >= 0) {
+			depSrc, depClass = src, class
+		}
+		dep = merge(dep, c)
+	}
 	var touched []*blockState
 	s.trackingBlocks(e, func(bs *blockState) {
-		dep = mergeAll(dep, bs.writer, bs.reader, bs.lastP)
+		absorb(bs.writer, bs.writerSrc, DepConflict)
+		absorb(bs.reader, bs.readerSrc, DepConflict)
+		absorb(bs.lastP, bs.lastPSrc, DepAtomicity)
 		touched = append(touched, bs)
 	})
+	if depSrc < 0 {
+		depClass = DepNone
+	}
 
 	// Place (or coalesce) one persist per spanned atomic block.
 	firstA, lastA := memory.BlockSpan(e.Addr, int(e.Size), s.params.AtomicGranularity)
 	placedCtx := zeroCtx
+	placedSrc := int64(-1)
 	for ab := firstA; ab <= lastA; ab++ {
 		s.res.Persists++
 		open, isOpen := s.atoms[ab]
 		stillBuffered := isOpen &&
 			(s.params.CoalesceWindow == 0 || s.res.Placed-open.seq <= s.params.CoalesceWindow)
-		var lvl int64
+		var lvl, id int64
+		coalesced := false
 		if !s.params.NoCoalescing && stillBuffered && dep.Excluding(ab) < open.lvl {
 			// Coalesce: the write joins the open persist of this atomic
 			// block; every other dependence persists strictly earlier.
-			lvl = open.lvl
+			lvl, id = open.lvl, open.id
+			coalesced = true
 			s.res.Coalesced++
 		} else {
 			lvl = dep.Lvl + 1
+			pSrc, pClass := depSrc, depClass
 			if isOpen && open.lvl >= lvl {
+				// Same-block serialization: the new NVRAM write is ordered
+				// behind the block's open persist (strong persist
+				// atomicity), which here is the binding constraint.
 				lvl = open.lvl + 1
+				pSrc, pClass = open.id, DepAtomicity
 			}
 			s.res.Placed++
-			s.atoms[ab] = openPersist{lvl: lvl, seq: s.res.Placed}
+			id = s.res.Placed - 1
+			s.atoms[ab] = openPersist{lvl: lvl, seq: s.res.Placed, id: id}
 			if lvl > s.res.CriticalPath {
 				s.res.CriticalPath = lvl
 			}
+			if s.probe != nil {
+				s.probe.PersistPlaced(PersistRecord{
+					EventIndex: s.res.Events - 1,
+					TID:        e.TID, Addr: e.Addr, Size: e.Size, Block: ab,
+					ID: id, Level: lvl,
+					DepID: pSrc, DepClass: pClass, DepLevel: lvl - 1,
+					Epoch: t.epoch, Strand: t.strand,
+				})
+			}
 		}
-		placedCtx = merge(placedCtx, persistCtx(lvl, ab))
+		if coalesced && s.probe != nil {
+			s.probe.PersistPlaced(PersistRecord{
+				EventIndex: s.res.Events - 1,
+				TID:        e.TID, Addr: e.Addr, Size: e.Size, Block: ab,
+				ID: id, Level: lvl, Coalesced: true,
+				DepID: -1, DepClass: DepNone, DepLevel: dep.Lvl,
+				Epoch: t.epoch, Strand: t.strand,
+			})
+		}
+		pc := persistCtx(lvl, ab)
+		placedSrc = srcOf(placedCtx, placedSrc, pc, id)
+		placedCtx = merge(placedCtx, pc)
 	}
 
 	// The thread observes its own persist: immediately under strict
 	// (program order orders subsequent persists), at the next barrier
 	// under epoch/strand.
 	if s.spec.immediate {
+		t.activeSrc = srcOf(t.active, t.activeSrc, placedCtx, placedSrc)
 		t.active = merge(t.active, placedCtx)
 	} else {
+		t.epochMaxSrc = srcOf(t.epochMax, t.epochMaxSrc, placedCtx, placedSrc)
 		t.epochMax = merge(t.epochMax, placedCtx)
+		t.pendingSrc = srcOf(t.pending, t.pendingSrc, dep, depSrc)
 		t.pending = merge(t.pending, dep)
 	}
 
@@ -305,9 +418,9 @@ func (s *Sim) persist(e trace.Event) {
 	// which maximizes later same-block coalescing (the head-pointer
 	// coalescing the paper notes in §6).
 	for _, bs := range touched {
-		bs.writer = placedCtx
-		bs.reader = zeroCtx
-		bs.lastP = placedCtx
+		bs.writer, bs.writerSrc = placedCtx, placedSrc
+		bs.reader, bs.readerSrc = zeroCtx, -1
+		bs.lastP, bs.lastPSrc = placedCtx, placedSrc
 	}
 }
 

@@ -133,6 +133,10 @@ type Result struct {
 	// attempts; their data never reached media (the campaign layer
 	// models the state-space side as a dropped persist).
 	FailedPersists int
+	// BankBusy is each bank's total service time (nil with infinite
+	// banks); BankBusy[b] / Makespan is bank b's occupancy, the
+	// load-balance view of the §3 bank-conflict caveat.
+	BankBusy []time.Duration
 }
 
 // channelHeap is a min-heap of channel free times.
@@ -175,6 +179,7 @@ func ScheduleWithFaults(g *graph.Graph, cfg Config, faults FaultProfile) (Result
 	finish := make([]time.Duration, n)
 	depth := make([]int64, n)
 	bankFree := make([]time.Duration, cfg.Banks)
+	bankBusy := make([]time.Duration, cfg.Banks)
 	var channels channelHeap
 	if cfg.Channels > 0 {
 		channels = make(channelHeap, cfg.Channels)
@@ -232,6 +237,7 @@ func ScheduleWithFaults(g *graph.Graph, cfg Config, faults FaultProfile) (Result
 				start = bankFree[b]
 			}
 			bankFree[b] = start + service
+			bankBusy[b] += service
 		}
 		if cfg.Channels > 0 {
 			// Take the earliest-free channel.
@@ -251,6 +257,9 @@ func ScheduleWithFaults(g *graph.Graph, cfg Config, faults FaultProfile) (Result
 		}
 	}
 	res.WearBlocks = len(wear)
+	if cfg.Banks > 0 {
+		res.BankBusy = bankBusy
+	}
 	res.IdealMakespan = time.Duration(maxDepth) * cfg.Latency
 	res.DeviceBound = res.Makespan > res.IdealMakespan
 	return res, nil

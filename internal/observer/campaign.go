@@ -102,6 +102,13 @@ type CampaignConfig struct {
 	// MinimizeBudget caps recovery executions spent shrinking the first
 	// failure. 0 means 2000; negative disables minimization.
 	MinimizeBudget int
+	// Progress, when non-nil, receives the running outcome every
+	// ProgressEvery scenarios and after the last one — live campaign
+	// telemetry for long runs. It is called synchronously from the
+	// campaign loop.
+	Progress func(out CampaignOutcome)
+	// ProgressEvery is the Progress stride in scenarios; 0 means 100.
+	ProgressEvery int
 }
 
 func (c *CampaignConfig) normalize() {
@@ -113,6 +120,9 @@ func (c *CampaignConfig) normalize() {
 	}
 	if c.MinimizeBudget == 0 {
 		c.MinimizeBudget = 2000
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 100
 	}
 }
 
@@ -302,6 +312,9 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 				out.RetryTime += res.RetryTime
 				out.FailedPersists += res.FailedPersists
 			}
+		}
+		if cfg.Progress != nil && (out.Scenarios%cfg.ProgressEvery == 0 || out.Scenarios == cfg.Scenarios) {
+			cfg.Progress(out)
 		}
 	}
 	return out, nil

@@ -209,11 +209,12 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as comma-separated values, quoting cells per
+// RFC 4180 (commas, quotes, CR or LF force a quoted field).
 func (t *Table) CSV() string {
 	var b strings.Builder
 	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
+		if strings.ContainsAny(s, ",\"\n\r") {
 			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 		}
 		return s

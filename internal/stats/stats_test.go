@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/csv"
 	"math"
 	"sort"
 	"strings"
@@ -150,5 +151,27 @@ func TestFormatNorm(t *testing.T) {
 	}
 	if FormatNorm(math.Inf(1)) != "inf*" {
 		t.Errorf("got %q", FormatNorm(math.Inf(1)))
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tbl := NewTable("name", "value", "note")
+	tbl.AddRow("plain", "a,b", `say "hi"`)
+	tbl.AddRow("crlf\r\ncell", "line\nbreak", "cr\ronly")
+	got := tbl.CSV()
+	want := "name,value,note\n" +
+		`plain,"a,b","say ""hi"""` + "\n" +
+		"\"crlf\r\ncell\",\"line\nbreak\",\"cr\ronly\"\n"
+	if got != want {
+		t.Fatalf("CSV quoting:\ngot  %q\nwant %q", got, want)
+	}
+	// Round-trip through a conforming RFC 4180 reader.
+	rd := csv.NewReader(strings.NewReader(got))
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv rejects output: %v", err)
+	}
+	if len(recs) != 3 || recs[1][1] != "a,b" || recs[2][1] != "line\nbreak" {
+		t.Fatalf("round-trip mismatch: %q", recs)
 	}
 }

@@ -1,0 +1,413 @@
+// Package telemetry is the observability layer of the reproduction:
+// a lightweight metrics registry (counters, gauges, histograms, timers;
+// snapshots to JSON and Prometheus text format) and a persist-timeline
+// tracer that records per-persist provenance from the timing simulator
+// and exports Chrome trace-event JSON viewable in Perfetto, plus a
+// critical-path attribution report.
+//
+// The paper's whole methodology is "measure the persist ordering
+// constraint critical path" (§7); telemetry makes that measurement
+// inspectable: which constraint edges, threads, and annotation sites
+// make up the path, and what every subsystem counted along the way.
+// The tracer independently reconstructs the critical path from the
+// recorded constraint edges, so agreement with core.Result doubles as
+// a cross-check of the timing model.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics. Metric names may carry Prometheus-style
+// labels inline — Label("x_total", "kind", "load") yields
+// `x_total{kind="load"}` — and each distinct full name is a distinct
+// series. All methods are safe for concurrent use; the counter/gauge
+// fast paths are atomic.
+type Registry struct {
+	mu    sync.Mutex
+	order []string // registration order, for deterministic output
+	m     map[string]metric
+	help  map[string]string // keyed by base name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]metric), help: make(map[string]string)}
+}
+
+// Label renders a metric name with labels appended in Prometheus text
+// syntax: Label("n", "k", "v") == `n{k="v"}`. Pairs are emitted in the
+// given order; values are escaped per the text format.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("telemetry: Label requires key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(kv[i+1])
+		b.WriteString(v)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseName strips an inline label set: `n{k="v"}` → `n`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelPart returns the inline label set including braces, or "".
+func labelPart(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[i:]
+	}
+	return ""
+}
+
+// timerName splices the timer's _seconds unit suffix onto the base
+// name, before any inline label set.
+func timerName(name string) string {
+	return baseName(name) + "_seconds" + labelPart(name)
+}
+
+// metric is the common interface of registered series.
+type metric interface{ kind() string }
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+func (*Counter) kind() string { return "counter" }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+func (*Gauge) kind() string { return "gauge" }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (not atomic with respect to concurrent Add; last write
+// wins under contention — fine for the single-threaded harness).
+func (g *Gauge) Add(d float64) { g.Set(g.Value() + d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; final +Inf bucket implicit
+	counts []int64   // len(bounds)+1
+	count  int64
+	sum    float64
+}
+
+func (*Histogram) kind() string { return "histogram" }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// snapshot returns a copy under the lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+	return s
+}
+
+// Timer is a histogram over durations in seconds.
+type Timer struct{ h *Histogram }
+
+func (*Timer) kind() string { return "timer" }
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
+
+// Time starts a stopwatch; the returned func records the elapsed time.
+func (t *Timer) Time() func() {
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// DefaultDurationBounds are the Timer bucket bounds, in seconds.
+var DefaultDurationBounds = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30, 120,
+}
+
+// register fetches-or-creates a series, enforcing kind consistency.
+func (r *Registry) register(name string, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.m[name]; ok {
+		return m
+	}
+	m := mk()
+	r.m[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.register(name, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", name, m.kind()))
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.register(name, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", name, m.kind()))
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use (later calls reuse the existing
+// bounds).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i-1] >= bounds[i] {
+			panic("telemetry: histogram bounds must ascend")
+		}
+	}
+	m := r.register(name, func() metric {
+		return &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]int64, len(bounds)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", name, m.kind()))
+	}
+	return h
+}
+
+// Timer returns the named timer, creating it on first use. The series
+// is exported as a histogram in seconds.
+func (r *Registry) Timer(name string) *Timer {
+	m := r.register(name, func() metric {
+		return &Timer{h: &Histogram{
+			bounds: append([]float64(nil), DefaultDurationBounds...),
+			counts: make([]int64, len(DefaultDurationBounds)+1),
+		}}
+	})
+	t, ok := m.(*Timer)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", name, m.kind()))
+	}
+	return t
+}
+
+// SetHelp attaches Prometheus HELP text to a base metric name.
+func (r *Registry) SetHelp(base, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[base] = help
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra final
+	// entry for observations above the last bound.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every series.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	series := make(map[string]metric, len(r.m))
+	for k, v := range r.m {
+		series[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, name := range names {
+		switch m := series[name].(type) {
+		case *Counter:
+			s.Counters[name] = m.Value()
+		case *Gauge:
+			s.Gauges[name] = m.Value()
+		case *Histogram:
+			s.Histograms[name] = m.snapshot()
+		case *Timer:
+			s.Histograms[timerName(name)] = m.h.snapshot()
+		}
+	}
+	if len(s.Counters) == 0 {
+		s.Counters = nil
+	}
+	if len(s.Gauges) == 0 {
+		s.Gauges = nil
+	}
+	if len(s.Histograms) == 0 {
+		s.Histograms = nil
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Series sharing a base name are grouped under
+// one TYPE/HELP header; output order follows registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	series := make(map[string]metric, len(r.m))
+	for k, v := range r.m {
+		series[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	written := make(map[string]bool) // base names with header emitted
+	var b strings.Builder
+	header := func(base, kind string) {
+		if written[base] {
+			return
+		}
+		written[base] = true
+		if h := help[base]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", base, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, kind)
+	}
+	histo := func(name string, hs HistogramSnapshot) {
+		base, labels := baseName(name), labelPart(name)
+		header(base, "histogram")
+		cum := int64(0)
+		for i, bound := range hs.Bounds {
+			cum += hs.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, mergeLabels(labels, "le", formatFloat(bound)), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", base, mergeLabels(labels, "le", "+Inf"), hs.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, labels, formatFloat(hs.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, hs.Count)
+	}
+	for _, name := range names {
+		switch m := series[name].(type) {
+		case *Counter:
+			header(baseName(name), "counter")
+			fmt.Fprintf(&b, "%s %d\n", name, m.Value())
+		case *Gauge:
+			header(baseName(name), "gauge")
+			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(m.Value()))
+		case *Histogram:
+			histo(name, m.snapshot())
+		case *Timer:
+			histo(timerName(name), m.h.snapshot())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// mergeLabels appends one extra label to an existing inline label set.
+func mergeLabels(labels, k, v string) string {
+	extra := k + `="` + v + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// formatFloat renders floats the way Prometheus expects (no exponent
+// for integral values, +Inf spelled out).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// SortedNames returns all registered series names, sorted — handy for
+// tests and dumps.
+func (r *Registry) SortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}

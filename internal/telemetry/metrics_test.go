@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("ops_total") != c {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after counter should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestLabel(t *testing.T) {
+	got := Label("hits_total", "model", "epoch", "tid", "3")
+	want := `hits_total{model="epoch",tid="3"}`
+	if got != want {
+		t.Fatalf("Label = %q, want %q", got, want)
+	}
+	if baseName(got) != "hits_total" {
+		t.Fatalf("baseName = %q", baseName(got))
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 4 || s.Sum != 555.5 {
+		t.Fatalf("count=%d sum=%v", s.Count, s.Sum)
+	}
+	// Counts are per-bucket (non-cumulative): <=1, <=10, <=100, +Inf.
+	want := []int64{1, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+}
+
+func TestTimer(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("step")
+	tm.Observe(25 * time.Millisecond)
+	snap := r.Snapshot()
+	h, ok := snap.Histograms["step_seconds"]
+	if !ok {
+		t.Fatalf("timer missing from snapshot: %+v", snap.Histograms)
+	}
+	if h.Count != 1 || h.Sum < 0.02 || h.Sum > 0.03 {
+		t.Fatalf("timer snapshot = %+v", h)
+	}
+}
+
+// A labeled timer must splice the _seconds unit suffix before the label
+// braces, both in the snapshot key and in the Prometheus exposition.
+func TestTimerLabeled(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer(Label("campaign", "workload", "queue"))
+	tm.Observe(5 * time.Millisecond)
+	snap := r.Snapshot()
+	key := `campaign_seconds{workload="queue"}`
+	if _, ok := snap.Histograms[key]; !ok {
+		t.Fatalf("snapshot missing %q: %+v", key, snap.Histograms)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `campaign_seconds_bucket{workload="queue",le="+Inf"} 1`) {
+		t.Fatalf("prometheus output missing well-formed labeled timer bucket:\n%s", out)
+	}
+	if strings.Contains(out, `"}_second`) {
+		t.Fatalf("unit suffix appended after label braces:\n%s", out)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("ops_total", "kind", "load")).Add(7)
+	r.Gauge("depth").Set(4)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Counters[`ops_total{kind="load"}`] != 7 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if snap.Gauges["depth"] != 4 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("ops_total", "operations")
+	r.Counter(Label("ops_total", "kind", "load")).Add(2)
+	r.Counter(Label("ops_total", "kind", "store")).Add(3)
+	r.Gauge("depth").Set(12)
+	h := r.Histogram("occ", 0.5)
+	h.Observe(0.25)
+	h.Observe(0.75)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, w := range []string{
+		"# HELP ops_total operations",
+		"# TYPE ops_total counter",
+		`ops_total{kind="load"} 2`,
+		`ops_total{kind="store"} 3`,
+		"# TYPE depth gauge",
+		"depth 12",
+		"# TYPE occ histogram",
+		`occ_bucket{le="0.5"} 1`,
+		`occ_bucket{le="+Inf"} 2`,
+		"occ_sum 1",
+		"occ_count 2",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("prometheus output missing %q:\n%s", w, out)
+		}
+	}
+	// TYPE header must appear once per base name even with two series.
+	if strings.Count(out, "# TYPE ops_total counter") != 1 {
+		t.Fatalf("duplicate TYPE header:\n%s", out)
+	}
+}

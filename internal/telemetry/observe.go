@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/nvram"
+	"repro/internal/observer"
+	"repro/internal/trace"
+)
+
+// This file adapts the other subsystems' results into registry series
+// under stable metric names. core cannot import telemetry (telemetry
+// consumes core's Probe types), so the adaptation lives here.
+
+// CountingSink is a trace.Sink that counts the event mix per thread and
+// kind before forwarding to Next — the exec-side op-mix telemetry for
+// pipelines that stream events rather than materializing a trace.
+type CountingSink struct {
+	reg  *Registry
+	Next trace.Sink
+	// cache avoids a map lookup per event: counters indexed by kind and
+	// a small tid window (spill to labeled lookup beyond it).
+	cache [16][16]*Counter
+}
+
+// NewCountingSink wraps next with per-kind/per-thread event counters in
+// reg. A nil next counts and discards.
+func NewCountingSink(reg *Registry, next trace.Sink) *CountingSink {
+	if next == nil {
+		next = trace.Discard
+	}
+	reg.SetHelp("exec_events_total", "trace events emitted by the execution engine, by kind and thread")
+	return &CountingSink{reg: reg, Next: next}
+}
+
+// Emit implements trace.Sink.
+func (s *CountingSink) Emit(e trace.Event) {
+	k, tid := int(e.Kind), int(e.TID)
+	if k < len(s.cache) && tid >= 0 && tid < len(s.cache[k]) {
+		c := s.cache[k][tid]
+		if c == nil {
+			c = s.counter(e)
+			s.cache[k][tid] = c
+		}
+		c.Inc()
+	} else {
+		s.counter(e).Inc()
+	}
+	s.Next.Emit(e)
+}
+
+func (s *CountingSink) counter(e trace.Event) *Counter {
+	return s.reg.Counter(Label("exec_events_total",
+		"kind", e.Kind.String(), "tid", strconv.Itoa(int(e.TID))))
+}
+
+// ObserveResult records a simulation result's counters under the given
+// workload label (e.g. "cwl/epoch/8T") and the result's model.
+func ObserveResult(reg *Registry, workload string, r core.Result) {
+	reg.SetHelp("sim_persists_total", "persist operations issued (per atomic-block fragment)")
+	reg.SetHelp("sim_persists_placed_total", "distinct NVRAM writes after coalescing")
+	reg.SetHelp("sim_persists_coalesced_total", "persists merged into an open NVRAM write")
+	reg.SetHelp("sim_critical_path", "persist ordering constraint critical path length")
+	reg.SetHelp("sim_work_items_total", "completed work items (queue inserts)")
+	reg.SetHelp("sim_events_total", "trace events consumed by the simulator")
+	lbl := func(name string) string {
+		return Label(name, "model", r.Model.String(), "workload", workload)
+	}
+	reg.Counter(lbl("sim_persists_total")).Add(r.Persists)
+	reg.Counter(lbl("sim_persists_placed_total")).Add(r.Placed)
+	reg.Counter(lbl("sim_persists_coalesced_total")).Add(r.Coalesced)
+	reg.Gauge(lbl("sim_critical_path")).Set(float64(r.CriticalPath))
+	reg.Counter(lbl("sim_work_items_total")).Add(r.WorkItems)
+	reg.Counter(lbl("sim_events_total")).Add(r.Events)
+}
+
+// ObserveDevice records an nvram schedule's device-side counters:
+// writes, retries, wear, and per-bank occupancy.
+func ObserveDevice(reg *Registry, label string, r nvram.Result) {
+	reg.SetHelp("nvram_writes_total", "NVRAM writes scheduled onto the device")
+	reg.SetHelp("nvram_retries_total", "failed write attempts injected by fault profiles")
+	reg.SetHelp("nvram_failed_persists_total", "persists abandoned after MaxRetries attempts")
+	reg.SetHelp("nvram_wear_max", "largest per-block write count")
+	reg.SetHelp("nvram_wear_blocks", "distinct blocks written")
+	reg.SetHelp("nvram_makespan_seconds", "schedule completion time")
+	reg.SetHelp("nvram_bank_occupancy", "per-bank busy fraction of the makespan")
+	lbl := func(name string) string { return Label(name, "workload", label) }
+	reg.Counter(lbl("nvram_writes_total")).Add(int64(r.Persists))
+	reg.Counter(lbl("nvram_retries_total")).Add(int64(r.Retries))
+	reg.Counter(lbl("nvram_failed_persists_total")).Add(int64(r.FailedPersists))
+	reg.Gauge(lbl("nvram_wear_max")).Set(float64(r.WearMax))
+	reg.Gauge(lbl("nvram_wear_blocks")).Set(float64(r.WearBlocks))
+	reg.Gauge(lbl("nvram_makespan_seconds")).Set(r.Makespan.Seconds())
+	if len(r.BankBusy) > 0 && r.Makespan > 0 {
+		h := reg.Histogram(lbl("nvram_bank_occupancy"), 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+		for _, busy := range r.BankBusy {
+			h.Observe(busy.Seconds() / r.Makespan.Seconds())
+		}
+	}
+}
+
+// ObserveCampaign records a fault-injection campaign's running (or
+// final) outcome as gauges — called from CampaignConfig.Progress, the
+// series track the live campaign state.
+func ObserveCampaign(reg *Registry, label string, out observer.CampaignOutcome) {
+	reg.SetHelp("campaign_scenarios", "fault-injection scenarios classified so far")
+	reg.SetHelp("campaign_outcomes", "scenario outcomes by class")
+	reg.SetHelp("campaign_retries_total", "transient write failures charged to the device model")
+	lbl := func(name string, kv ...string) string {
+		return Label(name, append([]string{"workload", label}, kv...)...)
+	}
+	reg.Gauge(lbl("campaign_scenarios")).Set(float64(out.Scenarios))
+	for _, c := range []struct {
+		class string
+		n     int
+	}{
+		{"masked", out.Masked},
+		{"salvaged", out.Salvaged},
+		{"silent-bit-missed", out.SilentBitMissed},
+		{"annotation-corrupt", out.AnnotationCorrupt},
+		{"silent-corrupt", out.SilentCorrupt},
+	} {
+		reg.Gauge(lbl("campaign_outcomes", "class", c.class)).Set(float64(c.n))
+	}
+	reg.Gauge(lbl("campaign_retries_total")).Set(float64(out.Retries))
+}
