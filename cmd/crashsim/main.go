@@ -10,7 +10,7 @@
 //	         [-model strict|epoch|epoch-tso|strand] [-threads N]
 //	         [-inserts N] [-samples N] [-seed S]
 //	         [-break-barrier] [-omit-completion-barrier]
-//	         [-campaign] [-scenarios N] [-faults N]
+//	         [-campaign] [-scenarios N] [-faults N] [-parallel N]
 //	         [-replay REPRO]
 //
 // With -break-barrier the data→head barrier is dropped, and the
@@ -48,6 +48,7 @@ import (
 	"repro/internal/observer"
 	"repro/internal/pstm"
 	"repro/internal/queue"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -94,6 +95,7 @@ func main() {
 		scenarios  = flag.Int("scenarios", 1000, "campaign scenarios (cut × fault plan)")
 		faults     = flag.Int("faults", 3, "max injected faults per scenario")
 		replayStr  = flag.String("replay", "", "repro string from a failed campaign; replays it and exits")
+		parallel   = flag.Int("parallel", 0, "cut/scenario evaluation workers; 0 means GOMAXPROCS, 1 forces sequential")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -174,10 +176,11 @@ func main() {
 			Gen:       fault.GenConfig{MaxFaults: *faults},
 			Params:    opts.params(),
 			Device:    campaignDevice(),
+			Sweep:     sweep.Config{Parallel: *parallel, Registry: reg},
 			// Live progress: update the registry's campaign gauges and
 			// print a running counter line to stderr.
 			Progress: func(o observer.CampaignOutcome) {
-				telemetry.ObserveCampaign(reg, wlabel, o)
+				observer.ObserveCampaign(reg, wlabel, o)
 				fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d scenarios (%d masked, %d salvaged, %d corrupt)",
 					o.Scenarios, *scenarios, o.Masked, o.Salvaged, o.AnnotationCorrupt+o.SilentCorrupt)
 				if o.Scenarios == *scenarios {
@@ -189,7 +192,7 @@ func main() {
 			fatal(err)
 		}
 		stop()
-		telemetry.ObserveCampaign(reg, wlabel, out)
+		observer.ObserveCampaign(reg, wlabel, out)
 		if *metricsOut != "" {
 			if merr := writeMetrics(reg, *metricsOut); merr != nil {
 				fatal(merr)
@@ -212,7 +215,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	out, err := observer.CrashTest(run.tr, core.Params{Model: model}, run.rec, observer.Config{Samples: *samples, Seed: *seed})
+	out, err := observer.CrashTest(run.tr, core.Params{Model: model}, run.rec, observer.Config{Samples: *samples, Seed: *seed, Sweep: sweep.Config{Parallel: *parallel}})
 	if err != nil {
 		fatal(err)
 	}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	pqbench -experiment table1|fig2|fig3|fig4|fig5|all \
-//	        [-inserts N] [-threads 1,8] [-latency 500ns] [-seed S] [-csv]
+//	        [-inserts N] [-threads 1,8] [-latency 500ns] [-seed S] [-csv] \
+//	        [-parallel N]
 //
 // plus the reproduction-added ablations: banks, window, wear, journal,
 // pstm, dist, races, unbuffered.
@@ -31,6 +32,7 @@ import (
 	"repro/internal/nvram"
 	"repro/internal/queue"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
 
@@ -48,6 +50,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON persist timeline (Perfetto) to this file")
 		traceIns   = flag.Int("trace-inserts", 200, "inserts per configuration in the -trace-out timeline pass")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
+		parallel   = flag.Int("parallel", 0, "sweep worker count; 0 means GOMAXPROCS, 1 forces sequential")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -68,6 +71,9 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	// Every experiment grid shares one sweep configuration; each sweep
+	// labels its own telemetry series via Named.
+	sw := sweep.Config{Parallel: *parallel, Registry: reg}
 	threads, err := parseInts(*threadsStr)
 	if err != nil {
 		fatal(err)
@@ -100,6 +106,7 @@ func main() {
 		cfg := bench.Table1Config{
 			Inserts: *inserts, PayloadLen: *payload, Threads: threads,
 			Latency: *latency, Seed: *seed, InstrRate: *instrRate,
+			Sweep: sw,
 		}
 		rows, err := bench.Table1(cfg)
 		if err != nil {
@@ -130,7 +137,7 @@ func main() {
 	})
 
 	run("fig2", func() error {
-		rows, err := bench.Fig2(min(*inserts, 200), *seed)
+		rows, err := bench.Fig2(min(*inserts, 200), *seed, sw)
 		if err != nil {
 			return err
 		}
@@ -145,7 +152,7 @@ func main() {
 	})
 
 	run("fig3", func() error {
-		points, err := bench.Fig3(bench.Fig3Config{Inserts: *inserts, PayloadLen: *payload, Seed: *seed, InstrRate: *instrRate})
+		points, err := bench.Fig3(bench.Fig3Config{Inserts: *inserts, PayloadLen: *payload, Seed: *seed, InstrRate: *instrRate, Sweep: sw})
 		if err != nil {
 			return err
 		}
@@ -161,7 +168,7 @@ func main() {
 	})
 
 	run("fig4", func() error {
-		points, err := bench.Fig4(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed})
+		points, err := bench.Fig4(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed, Sweep: sw})
 		if err != nil {
 			return err
 		}
@@ -174,7 +181,7 @@ func main() {
 	})
 
 	run("fig5", func() error {
-		points, err := bench.Fig5(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed})
+		points, err := bench.Fig5(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed, Sweep: sw})
 		if err != nil {
 			return err
 		}
@@ -218,7 +225,7 @@ func main() {
 	})
 
 	run("window", func() error {
-		points, err := bench.WindowAblation(min(*inserts, 5000), *seed, nil)
+		points, err := bench.WindowAblation(min(*inserts, 5000), *seed, nil, sw)
 		if err != nil {
 			return err
 		}
@@ -232,7 +239,7 @@ func main() {
 	})
 
 	run("journal", func() error {
-		rows, err := bench.JournalTable(min(*inserts, 5000), threads, *seed)
+		rows, err := bench.JournalTable(min(*inserts, 5000), threads, *seed, sw)
 		if err != nil {
 			return err
 		}
@@ -294,7 +301,7 @@ func main() {
 	})
 
 	run("pstm", func() error {
-		rows, err := bench.PSTMTable(min(*inserts, 5000), threads, *seed)
+		rows, err := bench.PSTMTable(min(*inserts, 5000), threads, *seed, sw)
 		if err != nil {
 			return err
 		}

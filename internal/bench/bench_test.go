@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/queue"
+	"repro/internal/sweep"
 )
 
 func TestWorkloadNormalize(t *testing.T) {
@@ -216,7 +217,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
-	rows, err := Fig2(20, 6)
+	rows, err := Fig2(20, 6, sweep.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

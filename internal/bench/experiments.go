@@ -9,6 +9,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/queue"
 	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // This file regenerates the paper's evaluation artifacts:
@@ -37,6 +39,9 @@ type Table1Config struct {
 	// InstrRate optionally fixes the instruction rate (items/s) instead
 	// of measuring the native queue — used by tests for determinism.
 	InstrRate float64
+	// Sweep controls grid parallelism; the zero value runs on
+	// GOMAXPROCS workers. Results are identical at any worker count.
+	Sweep sweep.Config
 }
 
 func (c *Table1Config) normalize() {
@@ -67,10 +72,21 @@ type Table1Row struct {
 }
 
 // Table1 runs every (design × policy × threads) configuration and
-// returns the rows in presentation order.
+// returns the rows in presentation order. The simulations fan out
+// across cfg.Sweep workers; rows are merged in grid order, so the
+// output is identical at any worker count.
 func Table1(cfg Table1Config) ([]Table1Row, error) {
 	cfg.normalize()
-	var rows []Table1Row
+	// Phase 1, sequential: NativeRate is a wall-clock measurement of
+	// real goroutines — running simulations beside it would skew the
+	// denominator, so every rate is measured before the fan-out.
+	type cell struct {
+		threads int
+		design  queue.Design
+		policy  queue.Policy
+		instr   float64
+	}
+	var grid []cell
 	for _, threads := range cfg.Threads {
 		for _, design := range []queue.Design{queue.CWL, queue.TwoLock} {
 			instr := cfg.InstrRate
@@ -85,23 +101,38 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 				}
 			}
 			for _, pol := range queue.Policies {
-				w := Workload{
-					Design: design, Policy: pol, Threads: threads,
-					Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed,
-				}
-				r, err := Simulate(w, core.Params{Model: ModelFor(pol)})
-				if err != nil {
-					return nil, fmt.Errorf("bench: %v: %w", w, err)
-				}
-				pr := r.PersistBoundRate(cfg.Latency)
-				rows = append(rows, Table1Row{
-					Design: design, Policy: pol, Threads: threads,
-					Result: r, InstrRate: instr, PersistRate: pr,
-					Normalized:   pr / instr,
-					CriticalPath: r.CriticalPath,
-				})
+				grid = append(grid, cell{threads, design, pol, instr})
 			}
 		}
+	}
+	// Phase 2, parallel: each cell re-executes its workload and
+	// simulates independently (never sharing a trace across workers).
+	rows := make([]Table1Row, 0, len(grid))
+	err := sweep.Run(len(grid), cfg.Sweep.Named("table1"),
+		func(i int) (Table1Row, error) {
+			c := grid[i]
+			w := Workload{
+				Design: c.design, Policy: c.policy, Threads: c.threads,
+				Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed,
+			}
+			r, err := Simulate(w, core.Params{Model: ModelFor(c.policy)})
+			if err != nil {
+				return Table1Row{}, fmt.Errorf("bench: %v: %w", w, err)
+			}
+			pr := r.PersistBoundRate(cfg.Latency)
+			return Table1Row{
+				Design: c.design, Policy: c.policy, Threads: c.threads,
+				Result: r, InstrRate: c.instr, PersistRate: pr,
+				Normalized:   pr / c.instr,
+				CriticalPath: r.CriticalPath,
+			}, nil
+		},
+		func(_ int, row Table1Row) error {
+			rows = append(rows, row)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -150,6 +181,8 @@ type Fig3Config struct {
 	Seed int64
 	// InstrRate optionally fixes the instruction rate for determinism.
 	InstrRate float64
+	// Sweep controls grid parallelism (one worker per policy here).
+	Sweep sweep.Config
 }
 
 // Fig3Point is one plotted point: achievable rate at one latency under
@@ -190,22 +223,30 @@ func Fig3(cfg Fig3Config) ([]Fig3Point, error) {
 			return nil, err
 		}
 	}
+	// One simulation per policy runs in parallel; the analytic latency
+	// sweep happens at merge time, in policy order.
 	var out []Fig3Point
-	for _, pol := range Fig3Policies {
-		w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed}
-		model := ModelFor(pol)
-		r, err := Simulate(w, core.Params{Model: model})
-		if err != nil {
-			return nil, err
-		}
-		for _, lat := range cfg.Latencies {
-			pb := r.PersistBoundRate(lat)
-			rate := math.Min(instr, pb)
-			out = append(out, Fig3Point{
-				Latency: lat, Policy: pol, Model: model,
-				Rate: rate, PersistBound: pb < instr,
-			})
-		}
+	err := sweep.Run(len(Fig3Policies), cfg.Sweep.Named("fig3"),
+		func(i int) (core.Result, error) {
+			pol := Fig3Policies[i]
+			w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed}
+			return Simulate(w, core.Params{Model: ModelFor(pol)})
+		},
+		func(i int, r core.Result) error {
+			pol := Fig3Policies[i]
+			model := ModelFor(pol)
+			for _, lat := range cfg.Latencies {
+				pb := r.PersistBoundRate(lat)
+				rate := math.Min(instr, pb)
+				out = append(out, Fig3Point{
+					Latency: lat, Policy: pol, Model: model,
+					Rate: rate, PersistBound: pb < instr,
+				})
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -261,6 +302,8 @@ type GranularityConfig struct {
 	Granularities []uint64
 	// Seed drives the interleaving.
 	Seed int64
+	// Sweep controls grid parallelism across (policy × granularity).
+	Sweep sweep.Config
 }
 
 func (c *GranularityConfig) normalize() {
@@ -289,21 +332,43 @@ var granPolicies = []queue.Policy{queue.PolicyStrict, queue.PolicyEpoch}
 
 func granularitySweep(cfg GranularityConfig, mkParams func(core.Model, uint64) core.Params) ([]GranPoint, error) {
 	cfg.normalize()
-	var out []GranPoint
-	for _, pol := range granPolicies {
-		w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed}
-		tr, err := Trace(w)
-		if err != nil {
-			return nil, err
-		}
-		model := ModelFor(pol)
-		for _, g := range cfg.Granularities {
-			r, err := core.Simulate(tr, mkParams(model, g))
+	// Phase 1: one trace per policy, generated in parallel (each
+	// trace's SC execution stays single-pass within its worker).
+	traces := make([]*trace.Trace, len(granPolicies))
+	err := sweep.Run(len(granPolicies), cfg.Sweep.Named("gran-trace"),
+		func(i int) (*trace.Trace, error) {
+			pol := granPolicies[i]
+			w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed}
+			return Trace(w)
+		},
+		func(i int, tr *trace.Trace) error {
+			traces[i] = tr
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: the (policy × granularity) grid; core.Simulate only
+	// reads the shared trace, so workers can share it freely.
+	ng := len(cfg.Granularities)
+	out := make([]GranPoint, 0, len(granPolicies)*ng)
+	err = sweep.Run(len(granPolicies)*ng, cfg.Sweep.Named("gran"),
+		func(i int) (GranPoint, error) {
+			pol := granPolicies[i/ng]
+			g := cfg.Granularities[i%ng]
+			model := ModelFor(pol)
+			r, err := core.Simulate(traces[i/ng], mkParams(model, g))
 			if err != nil {
-				return nil, err
+				return GranPoint{}, err
 			}
-			out = append(out, GranPoint{Granularity: g, Policy: pol, Model: model, PathPerInsert: r.PathPerWork()})
-		}
+			return GranPoint{Granularity: g, Policy: pol, Model: model, PathPerInsert: r.PathPerWork()}, nil
+		},
+		func(_ int, p GranPoint) error {
+			out = append(out, p)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -367,8 +432,9 @@ type WindowPoint struct {
 }
 
 // WindowAblation sweeps the coalescing window for the strand-annotated
-// CWL queue (1 thread).
-func WindowAblation(inserts int, seed int64, windows []int64) ([]WindowPoint, error) {
+// CWL queue (1 thread); the per-window simulations run on sw workers
+// over one shared trace.
+func WindowAblation(inserts int, seed int64, windows []int64, sw sweep.Config) ([]WindowPoint, error) {
 	if inserts <= 0 {
 		inserts = 5000
 	}
@@ -380,13 +446,21 @@ func WindowAblation(inserts int, seed int64, windows []int64) ([]WindowPoint, er
 	if err != nil {
 		return nil, err
 	}
-	var out []WindowPoint
-	for _, win := range windows {
-		r, err := core.Simulate(tr, core.Params{Model: core.Strand, CoalesceWindow: win})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, WindowPoint{Window: win, PathPerInsert: r.PathPerWork(), Coalesced: r.Coalesced})
+	out := make([]WindowPoint, 0, len(windows))
+	err = sweep.Run(len(windows), sw.Named("window"),
+		func(i int) (WindowPoint, error) {
+			r, err := core.Simulate(tr, core.Params{Model: core.Strand, CoalesceWindow: windows[i]})
+			if err != nil {
+				return WindowPoint{}, err
+			}
+			return WindowPoint{Window: windows[i], PathPerInsert: r.PathPerWork(), Coalesced: r.Coalesced}, nil
+		},
+		func(_ int, p WindowPoint) error {
+			out = append(out, p)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -420,31 +494,41 @@ type Fig2Row struct {
 	CriticalPath int64
 }
 
-// Fig2 builds the constraint DAG of a small CWL run per policy.
-func Fig2(inserts int, seed int64) ([]Fig2Row, error) {
+// Fig2 builds the constraint DAG of a small CWL run per policy, one
+// policy per sweep worker.
+func Fig2(inserts int, seed int64, sw sweep.Config) ([]Fig2Row, error) {
 	if inserts <= 0 {
 		inserts = 50
 	}
-	var rows []Fig2Row
-	for _, pol := range queue.Policies {
-		w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: inserts, PayloadLen: 100, Seed: seed}
-		tr, err := Trace(w)
-		if err != nil {
-			return nil, err
-		}
-		model := ModelFor(pol)
-		g, err := graph.Build(tr, core.Params{Model: model})
-		if err != nil {
-			return nil, err
-		}
-		counts := g.EdgeCounts()
-		rows = append(rows, Fig2Row{
-			Policy: pol, Model: model, Persists: g.Len(),
-			ProgramOrder: counts[graph.ProgramOrder],
-			Atomicity:    counts[graph.Atomicity],
-			Conflict:     counts[graph.Conflict],
-			CriticalPath: g.CriticalPath(),
+	rows := make([]Fig2Row, 0, len(queue.Policies))
+	err := sweep.Run(len(queue.Policies), sw.Named("fig2"),
+		func(i int) (Fig2Row, error) {
+			pol := queue.Policies[i]
+			w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: inserts, PayloadLen: 100, Seed: seed}
+			tr, err := Trace(w)
+			if err != nil {
+				return Fig2Row{}, err
+			}
+			model := ModelFor(pol)
+			g, err := graph.Build(tr, core.Params{Model: model})
+			if err != nil {
+				return Fig2Row{}, err
+			}
+			counts := g.EdgeCounts()
+			return Fig2Row{
+				Policy: pol, Model: model, Persists: g.Len(),
+				ProgramOrder: counts[graph.ProgramOrder],
+				Atomicity:    counts[graph.Atomicity],
+				Conflict:     counts[graph.Conflict],
+				CriticalPath: g.CriticalPath(),
+			}, nil
+		},
+		func(_ int, r Fig2Row) error {
+			rows = append(rows, r)
+			return nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

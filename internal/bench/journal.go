@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/journal"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -108,35 +109,53 @@ func JournalModelFor(p journal.Policy) core.Model {
 }
 
 // JournalTable evaluates persist concurrency of the journal under
-// every policy and the given thread counts.
-func JournalTable(txns int, threads []int, seed int64) ([]JournalRow, error) {
+// every policy and the given thread counts, fanning the (threads ×
+// policy) grid across sw workers.
+func JournalTable(txns int, threads []int, seed int64, sw sweep.Config) ([]JournalRow, error) {
 	if len(threads) == 0 {
 		threads = []int{1, 4}
 	}
-	var rows []JournalRow
+	type cell struct {
+		threads int
+		policy  journal.Policy
+	}
+	var grid []cell
 	for _, th := range threads {
 		for _, pol := range journal.Policies {
 			if pol == journal.PolicyRacingEpoch {
 				continue // unsafe for this structure; excluded from the table
 			}
-			sim, err := core.NewSim(core.Params{Model: JournalModelFor(pol)})
+			grid = append(grid, cell{th, pol})
+		}
+	}
+	rows := make([]JournalRow, 0, len(grid))
+	err := sweep.Run(len(grid), sw.Named("journal"),
+		func(i int) (JournalRow, error) {
+			c := grid[i]
+			sim, err := core.NewSim(core.Params{Model: JournalModelFor(c.policy)})
 			if err != nil {
-				return nil, err
+				return JournalRow{}, err
 			}
-			w := JournalWorkload{Policy: pol, Threads: th, Txns: txns, Seed: seed}
+			w := JournalWorkload{Policy: c.policy, Threads: c.threads, Txns: txns, Seed: seed}
 			if err := RunJournal(w, sim); err != nil {
-				return nil, fmt.Errorf("bench: journal %v/%dT: %w", pol, th, err)
+				return JournalRow{}, fmt.Errorf("bench: journal %v/%dT: %w", c.policy, c.threads, err)
 			}
 			if err := sim.Err(); err != nil {
-				return nil, err
+				return JournalRow{}, err
 			}
 			r := sim.Result()
-			rows = append(rows, JournalRow{
-				Policy: pol, Threads: th, Result: r,
+			return JournalRow{
+				Policy: c.policy, Threads: c.threads, Result: r,
 				PathPerTxn:   r.PathPerWork(),
 				CriticalPath: r.CriticalPath,
-			})
-		}
+			}, nil
+		},
+		func(_ int, r JournalRow) error {
+			rows = append(rows, r)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

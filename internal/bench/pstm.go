@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/pstm"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Durable-transaction (pstm) workload harness: persist concurrency of
@@ -33,31 +34,43 @@ func PSTMModelFor(p pstm.Policy) core.Model {
 }
 
 // PSTMTable evaluates persist concurrency of paired-word durable
-// transactions (racing excluded: unsafe for this structure).
-func PSTMTable(txns int, threads []int, seed int64) ([]PSTMRow, error) {
+// transactions (racing excluded: unsafe for this structure), fanning
+// the (threads × policy) grid across sw workers.
+func PSTMTable(txns int, threads []int, seed int64, sw sweep.Config) ([]PSTMRow, error) {
 	if txns <= 0 {
 		txns = 1000
 	}
 	if len(threads) == 0 {
 		threads = []int{1, 4}
 	}
-	var rows []PSTMRow
+	type cell struct {
+		threads int
+		policy  pstm.Policy
+	}
+	var grid []cell
 	for _, th := range threads {
 		for _, pol := range pstm.Policies {
 			if pol == pstm.PolicyRacingEpoch {
 				continue
 			}
-			sim, err := core.NewSim(core.Params{Model: PSTMModelFor(pol)})
+			grid = append(grid, cell{th, pol})
+		}
+	}
+	rows := make([]PSTMRow, 0, len(grid))
+	err := sweep.Run(len(grid), sw.Named("pstm"),
+		func(i int) (PSTMRow, error) {
+			c := grid[i]
+			sim, err := core.NewSim(core.Params{Model: PSTMModelFor(c.policy)})
 			if err != nil {
-				return nil, err
+				return PSTMRow{}, err
 			}
-			m := exec.NewMachine(exec.Config{Threads: th, Seed: seed, Sink: sim})
+			m := exec.NewMachine(exec.Config{Threads: c.threads, Seed: seed, Sink: sim})
 			s := m.SetupThread()
-			h, err := pstm.New(s, pstm.Config{Words: 2 * th, UndoCap: 8, Policy: pol})
+			h, err := pstm.New(s, pstm.Config{Words: 2 * c.threads, UndoCap: 8, Policy: c.policy})
 			if err != nil {
-				return nil, err
+				return PSTMRow{}, err
 			}
-			per := txns / th
+			per := txns / c.threads
 			m.Run(func(t *exec.Thread) {
 				for i := 0; i < per; i++ {
 					id := uint64(t.TID())<<32 | uint64(i)
@@ -71,11 +84,17 @@ func PSTMTable(txns int, threads []int, seed int64) ([]PSTMRow, error) {
 				}
 			})
 			if err := sim.Err(); err != nil {
-				return nil, err
+				return PSTMRow{}, err
 			}
 			r := sim.Result()
-			rows = append(rows, PSTMRow{Policy: pol, Threads: th, Result: r, PathPerTxn: r.PathPerWork()})
-		}
+			return PSTMRow{Policy: c.policy, Threads: c.threads, Result: r, PathPerTxn: r.PathPerWork()}, nil
+		},
+		func(_ int, r PSTMRow) error {
+			rows = append(rows, r)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

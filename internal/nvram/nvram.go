@@ -127,7 +127,9 @@ type Result struct {
 	// the fault profile (each re-attempt also wears its block).
 	Retries int
 	// RetryTime is the extra device occupancy transient failures cost:
-	// re-attempt service time plus backoff waits.
+	// re-attempt service time plus backoff waits. An abandoned persist
+	// (all attempts failed) charges its full occupancy — there is no
+	// successful attempt to exclude.
 	RetryTime time.Duration
 	// FailedPersists counts persists abandoned after MaxRetries
 	// attempts; their data never reached media (the campaign layer
@@ -215,11 +217,13 @@ func ScheduleWithFaults(g *graph.Graph, cfg Config, faults FaultProfile) (Result
 		// The persist occupies its bank/channel for every attempt plus
 		// the backoff waits, and each attempt wears the block.
 		attempts := 1
+		abandoned := false
 		if fails := faults[graph.NodeID(i)]; fails > 0 {
 			if fails >= cfg.MaxRetries {
 				// Abandoned: MaxRetries attempts, all failed.
 				fails = cfg.MaxRetries
 				attempts = fails
+				abandoned = true
 				res.FailedPersists++
 			} else {
 				attempts = fails + 1
@@ -230,20 +234,34 @@ func ScheduleWithFaults(g *graph.Graph, cfg Config, faults FaultProfile) (Result
 		for k := 1; k < attempts; k++ {
 			service += cfg.RetryBackoff << uint(k-1)
 		}
-		res.RetryTime += service - lat
+		if abandoned {
+			// No attempt succeeded: the whole occupancy is retry cost.
+			res.RetryTime += service
+		} else {
+			res.RetryTime += service - lat
+		}
+		// Resolve the start time against *both* resources before
+		// committing either: a bank is only free once the persist
+		// actually finishes on it, which the channel constraint may
+		// push later than the bank constraint alone implies.
+		bank := -1
 		if cfg.Banks > 0 {
-			b := int(uint64(blk) % uint64(cfg.Banks))
-			if bankFree[b] > start {
-				start = bankFree[b]
+			bank = int(uint64(blk) % uint64(cfg.Banks))
+			if bankFree[bank] > start {
+				start = bankFree[bank]
 			}
-			bankFree[b] = start + service
-			bankBusy[b] += service
 		}
 		if cfg.Channels > 0 {
-			// Take the earliest-free channel.
+			// The earliest-free channel.
 			if channels[0] > start {
 				start = channels[0]
 			}
+		}
+		if bank >= 0 {
+			bankFree[bank] = start + service
+			bankBusy[bank] += service
+		}
+		if cfg.Channels > 0 {
 			channels[0] = start + service
 			heap.Fix(&channels, 0)
 		}

@@ -292,3 +292,86 @@ func TestRetryConfigValidation(t *testing.T) {
 		t.Error("negative RetryBackoff should fail")
 	}
 }
+
+func TestBankCommitSeesChannelDelay(t *testing.T) {
+	// Regression: bankFree must be committed from the *final* start
+	// time, after the channel constraint has pushed it. Four
+	// independent persists, 2 banks (64-byte blocks: A,B on one bank,
+	// C,D on the other), 2 channels, and one retry on C making its
+	// service 2×lat:
+	//
+	//	A: [0, lat)   bank X, channel 1
+	//	B: [lat, 2l)  bank X (serialized by the bank), channel 2
+	//	C: [lat, 3l)  bank Y — channel-delayed to lat, 2-lat service
+	//	D: [3l, 4l)   bank Y — must wait for C's *actual* finish
+	//
+	// The pre-fix code recorded bank Y free at 2·lat (C's start before
+	// the channel delay, plus service), letting D overlap C on the same
+	// bank and understating the makespan as 3·lat.
+	g := buildDAG(t, core.Epoch, func(tr *trace.Trace) {
+		store(tr, 0, paddr(0)) // A: bank 0
+		store(tr, 0, paddr(2)) // B: bank 0
+		store(tr, 0, paddr(1)) // C: bank 1
+		store(tr, 0, paddr(3)) // D: bank 1
+	})
+	lat := 100 * time.Nanosecond
+	cfg := Config{Latency: lat, Banks: 2, Channels: 2, AtomicGranularity: 64}
+	r, err := ScheduleWithFaults(g, cfg, FaultProfile{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * lat; r.Makespan != want {
+		t.Fatalf("Makespan = %v, want %v (same-bank persists under-serialized)", r.Makespan, want)
+	}
+	// Bank busy time is unaffected by where persists sit in time.
+	if got := r.BankBusy[0] + r.BankBusy[1]; got != 5*lat {
+		t.Fatalf("total BankBusy = %v, want %v", got, 5*lat)
+	}
+}
+
+func TestBankAndChannelSerializeTogether(t *testing.T) {
+	// Two independent persists on a 1-bank, 1-channel device must
+	// serialize to exactly 2× the service time whichever resource
+	// binds first.
+	g := buildDAG(t, core.Epoch, func(tr *trace.Trace) {
+		store(tr, 0, paddr(0))
+		store(tr, 0, paddr(1))
+	})
+	lat := 100 * time.Nanosecond
+	r, err := Schedule(g, Config{Latency: lat, Banks: 1, Channels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * lat; r.Makespan != want {
+		t.Fatalf("Makespan = %v, want %v", r.Makespan, want)
+	}
+	if r.BankBusy[0] != 2*lat {
+		t.Fatalf("BankBusy = %v, want %v", r.BankBusy[0], 2*lat)
+	}
+}
+
+func TestRetryTimeChargesFullServiceWhenAbandoned(t *testing.T) {
+	// Regression: an abandoned persist has no successful attempt, so
+	// RetryTime must charge its full service time, not service − lat.
+	g := buildDAG(t, core.Strict, func(tr *trace.Trace) {
+		store(tr, 0, paddr(0))
+	})
+	lat := 100 * time.Nanosecond
+	backoff := 10 * time.Nanosecond
+	cfg := Config{Latency: lat, MaxRetries: 3, RetryBackoff: backoff}
+	r, err := ScheduleWithFaults(g, cfg, FaultProfile{0: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FailedPersists != 1 || r.Retries != 3 {
+		t.Fatalf("FailedPersists = %d, Retries = %d", r.FailedPersists, r.Retries)
+	}
+	// 3 failed attempts + backoffs 10ns and 20ns, all of it retry cost.
+	want := 3*lat + backoff + backoff<<1
+	if r.RetryTime != want {
+		t.Fatalf("RetryTime = %v, want %v (abandoned persists have no successful attempt to exclude)", r.RetryTime, want)
+	}
+	if r.Makespan != want {
+		t.Fatalf("Makespan = %v, want %v", r.Makespan, want)
+	}
+}

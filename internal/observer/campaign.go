@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/memory"
 	"repro/internal/nvram"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -105,10 +106,19 @@ type CampaignConfig struct {
 	// Progress, when non-nil, receives the running outcome every
 	// ProgressEvery scenarios and after the last one — live campaign
 	// telemetry for long runs. It is called synchronously from the
-	// campaign loop.
+	// merge loop in scenario order (deterministic at any worker
+	// count); a FirstFailure it observes is not yet minimized —
+	// minimization runs once, after the sweep.
 	Progress func(out CampaignOutcome)
 	// ProgressEvery is the Progress stride in scenarios; 0 means 100.
 	ProgressEvery int
+	// Sweep controls parallel scenario evaluation; the zero value uses
+	// GOMAXPROCS workers. rec must then be safe for concurrent calls.
+	// Scenario generation stays sequential (one rng stream) and
+	// verdicts merge in scenario order, so the outcome — tallies,
+	// progress sequence, first failure, minimized repro — is identical
+	// at any worker count.
+	Sweep sweep.Config
 }
 
 func (c *CampaignConfig) normalize() {
@@ -257,6 +267,14 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 		adversarial = cfg.Scenarios / 2
 	}
 
+	// Phase 1, sequential: scenario generation consumes the rng stream
+	// in exactly the order the sequential campaign always did, so equal
+	// seeds yield equal (cut, plan) grids at any worker count.
+	type scenario struct {
+		c    graph.Cut
+		plan fault.Plan
+	}
+	scens := make([]scenario, cfg.Scenarios)
 	for i := 0; i < cfg.Scenarios; i++ {
 		var c graph.Cut
 		if i < adversarial {
@@ -266,56 +284,92 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 			c = g.SampleCut(rng, keep)
 		}
 		words := g.Materialize(c).WrittenWords()
-		plan := fault.GenPlan(rng, g, c, words, cfg.Gen)
-		class, cerr := classify(g, c, plan, rec, maxRetries)
-		out.Scenarios++
-		if plan.HasSilentFlip() {
-			out.SilentBitSeen++
-			if class == Salvaged {
-				out.SilentBitCaught++
-			}
-		}
-		switch class {
-		case Masked:
-			out.Masked++
-		case Salvaged:
-			out.Salvaged++
-		case SilentBitMissed:
-			out.SilentBitMissed++
-		case AnnotationCorrupt:
-			out.AnnotationCorrupt++
-		case SilentCorrupt:
-			out.SilentCorrupt++
-		}
-		if class.Failure() && out.FirstFailure == nil {
-			mc, mp := c, plan
-			if class == AnnotationCorrupt {
-				mp = fault.Plan{} // the empty plan already fails
-			}
-			if cfg.MinimizeBudget > 0 {
-				mc, mp = MinimizeScenario(g, mc, mp, func(c2 graph.Cut, p2 fault.Plan) bool {
-					cl, _ := classify(g, c2, p2, rec, maxRetries)
-					return cl == class
-				}, cfg.MinimizeBudget)
-			}
-			out.FirstFailure = &fault.Scenario{Params: cfg.Params, Cut: mc, Plan: mp}
-			out.FirstFailureClass = class
-			out.FirstError = cerr
-		}
-		if cfg.Device.Latency > 0 {
-			if prof := plan.RetryProfile(); len(prof) > 0 {
-				res, serr := nvram.ScheduleWithFaults(g, cfg.Device, prof)
-				if serr != nil {
-					return out, serr
+		scens[i] = scenario{c: c, plan: fault.GenPlan(rng, g, c, words, cfg.Gen)}
+	}
+
+	// Phase 2, parallel: classification and device scheduling only read
+	// the shared graph; verdicts merge back in scenario order, keeping
+	// the tallies, progress sequence, and first failure deterministic.
+	type verdict struct {
+		class   Class
+		cerr    error
+		res     nvram.Result
+		haveRes bool
+	}
+	firstIdx := -1
+	err = sweep.Run(cfg.Scenarios, cfg.Sweep.Named("campaign"),
+		func(i int) (verdict, error) {
+			class, cerr := classify(g, scens[i].c, scens[i].plan, rec, maxRetries)
+			v := verdict{class: class, cerr: cerr}
+			if cfg.Device.Latency > 0 {
+				if prof := scens[i].plan.RetryProfile(); len(prof) > 0 {
+					res, serr := nvram.ScheduleWithFaults(g, cfg.Device, prof)
+					if serr != nil {
+						return verdict{}, serr
+					}
+					v.res, v.haveRes = res, true
 				}
-				out.Retries += res.Retries
-				out.RetryTime += res.RetryTime
-				out.FailedPersists += res.FailedPersists
 			}
+			return v, nil
+		},
+		func(i int, v verdict) error {
+			out.Scenarios++
+			if scens[i].plan.HasSilentFlip() {
+				out.SilentBitSeen++
+				if v.class == Salvaged {
+					out.SilentBitCaught++
+				}
+			}
+			switch v.class {
+			case Masked:
+				out.Masked++
+			case Salvaged:
+				out.Salvaged++
+			case SilentBitMissed:
+				out.SilentBitMissed++
+			case AnnotationCorrupt:
+				out.AnnotationCorrupt++
+			case SilentCorrupt:
+				out.SilentCorrupt++
+			}
+			if v.class.Failure() && firstIdx < 0 {
+				firstIdx = i
+				out.FirstFailure = &fault.Scenario{Params: cfg.Params, Cut: scens[i].c, Plan: scens[i].plan}
+				out.FirstFailureClass = v.class
+				out.FirstError = v.cerr
+			}
+			if v.haveRes {
+				out.Retries += v.res.Retries
+				out.RetryTime += v.res.RetryTime
+				out.FailedPersists += v.res.FailedPersists
+			}
+			if cfg.Progress != nil && (out.Scenarios%cfg.ProgressEvery == 0 || out.Scenarios == cfg.Scenarios) {
+				cfg.Progress(out)
+			}
+			return nil
+		})
+	if err != nil {
+		return out, err
+	}
+
+	// Phase 3, sequential: shrink the first failure into a replayable
+	// repro. Running it after the sweep keeps the minimizer's greedy
+	// recovery executions off the worker pool; the merge order above
+	// guarantees this is the same failure the sequential campaign
+	// would have minimized.
+	if firstIdx >= 0 {
+		class := out.FirstFailureClass
+		mc, mp := scens[firstIdx].c, scens[firstIdx].plan
+		if class == AnnotationCorrupt {
+			mp = fault.Plan{} // the empty plan already fails
 		}
-		if cfg.Progress != nil && (out.Scenarios%cfg.ProgressEvery == 0 || out.Scenarios == cfg.Scenarios) {
-			cfg.Progress(out)
+		if cfg.MinimizeBudget > 0 {
+			mc, mp = MinimizeScenario(g, mc, mp, func(c2 graph.Cut, p2 fault.Plan) bool {
+				cl, _ := classify(g, c2, p2, rec, maxRetries)
+				return cl == class
+			}, cfg.MinimizeBudget)
 		}
+		out.FirstFailure = &fault.Scenario{Params: cfg.Params, Cut: mc, Plan: mp}
 	}
 	return out, nil
 }

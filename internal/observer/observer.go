@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/memory"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	// exercise different recovery paths. Nil means {0.05, 0.25, 0.5,
 	// 0.75, 0.95, 0.999}.
 	KeepProbs []float64
+	// Sweep controls parallel cut evaluation; the zero value uses
+	// GOMAXPROCS workers. rec must then be safe for concurrent calls
+	// (recovery closures over read-only state are). Outcomes merge in
+	// sampling order, so results are identical at any worker count.
+	Sweep sweep.Config
 }
 
 func (c *Config) normalize() {
@@ -100,23 +106,35 @@ func CrashTest(tr *trace.Trace, p core.Params, rec RecoverFunc, cfg Config) (Out
 	if rng == nil {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
-	try := func(c graph.Cut) {
-		out.Cuts++
-		if err := rec(g.Materialize(c)); err != nil {
-			out.Corrupt++
-			if out.FirstCorruption == nil {
-				out.FirstCorruption = err
-			}
-		} else {
-			out.Recovered++
-		}
-	}
+	// Cuts are sampled sequentially — one rng stream, consumed in the
+	// same order as ever — then evaluated on the sweep pool. Tallies
+	// merge in sampling order, so the outcome (including which
+	// corruption is "first") is identical at any worker count.
+	cuts := make([]graph.Cut, 0, cfg.Samples+2)
 	// The no-failure and nothing-persisted states are always reachable.
-	try(g.Full())
-	try(g.Empty())
+	cuts = append(cuts, g.Full(), g.Empty())
 	for i := 0; i < cfg.Samples; i++ {
 		keep := cfg.KeepProbs[i%len(cfg.KeepProbs)]
-		try(g.SampleCut(rng, keep))
+		cuts = append(cuts, g.SampleCut(rng, keep))
+	}
+	err = sweep.Run(len(cuts), cfg.Sweep.Named("crash-cuts"),
+		func(i int) (error, error) {
+			return rec(g.Materialize(cuts[i])), nil
+		},
+		func(_ int, recErr error) error {
+			out.Cuts++
+			if recErr != nil {
+				out.Corrupt++
+				if out.FirstCorruption == nil {
+					out.FirstCorruption = recErr
+				}
+			} else {
+				out.Recovered++
+			}
+			return nil
+		})
+	if err != nil {
+		return Outcome{}, err
 	}
 	return out, nil
 }

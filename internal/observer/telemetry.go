@@ -1,0 +1,31 @@
+package observer
+
+import "repro/internal/telemetry"
+
+// ObserveCampaign records a fault-injection campaign's running (or
+// final) outcome as gauges — called from CampaignConfig.Progress, the
+// series track the live campaign state. (It lives here rather than in
+// telemetry because telemetry sits below the sweep pool the campaign
+// runs on, and importing observer from there would be a cycle.)
+func ObserveCampaign(reg *telemetry.Registry, label string, out CampaignOutcome) {
+	reg.SetHelp("campaign_scenarios", "fault-injection scenarios classified so far")
+	reg.SetHelp("campaign_outcomes", "scenario outcomes by class")
+	reg.SetHelp("campaign_retries_total", "transient write failures charged to the device model")
+	lbl := func(name string, kv ...string) string {
+		return telemetry.Label(name, append([]string{"workload", label}, kv...)...)
+	}
+	reg.Gauge(lbl("campaign_scenarios")).Set(float64(out.Scenarios))
+	for _, c := range []struct {
+		class string
+		n     int
+	}{
+		{"masked", out.Masked},
+		{"salvaged", out.Salvaged},
+		{"silent-bit-missed", out.SilentBitMissed},
+		{"annotation-corrupt", out.AnnotationCorrupt},
+		{"silent-corrupt", out.SilentCorrupt},
+	} {
+		reg.Gauge(lbl("campaign_outcomes", "class", c.class)).Set(float64(c.n))
+	}
+	reg.Gauge(lbl("campaign_retries_total")).Set(float64(out.Retries))
+}

@@ -29,17 +29,17 @@ func Summarize(xs []float64) Summary {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
-	sum, sq := 0.0, 0.0
-	for _, v := range s {
-		sum += v
-		sq += v * v
+	// Welford's online update: the naive E[x²]−E[x]² form cancels
+	// catastrophically when the mean dwarfs the spread (e.g. nanosecond
+	// timestamps), silently reporting StdDev 0.
+	mean, m2 := 0.0, 0.0
+	for i, v := range s {
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
 	}
 	n := float64(len(s))
-	mean := sum / n
-	variance := sq/n - mean*mean
-	if variance < 0 {
-		variance = 0
-	}
+	variance := m2 / n
 	return Summary{
 		Count:  len(s),
 		Min:    s[0],
@@ -53,7 +53,7 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of an ascending-sorted
-// sample using nearest-rank interpolation.
+// sample, linearly interpolating between the two closest ranks.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return math.NaN()
@@ -132,6 +132,11 @@ func (h *Histogram) String() string {
 	}
 	label := func(i int) string {
 		if i == len(h.Bounds) {
+			if len(h.Bounds) == 0 {
+				// NewHistogram() with no bounds: the overflow bucket
+				// is the only bucket and holds every value.
+				return "all"
+			}
 			return fmt.Sprintf(">%d", h.Bounds[len(h.Bounds)-1])
 		}
 		lo := 0

@@ -175,3 +175,39 @@ func TestTableCSVQuoting(t *testing.T) {
 		t.Fatalf("round-trip mismatch: %q", recs)
 	}
 }
+
+func TestHistogramNoBounds(t *testing.T) {
+	// NewHistogram() is legal: one overflow bucket holding everything.
+	// Regression: String used to index Bounds[-1] rendering its label.
+	h := NewHistogram()
+	h.AddAll([]int{1, 5, 9})
+	if h.Total != 3 || h.Counts[0] != 3 {
+		t.Fatalf("counts = %v, total = %d", h.Counts, h.Total)
+	}
+	s := h.String()
+	if !strings.Contains(s, "all") || !strings.Contains(s, "3") {
+		t.Fatalf("boundless histogram rendered %q, want the single bucket labeled 'all'", s)
+	}
+}
+
+func TestSummarizeLargeMeanStdDev(t *testing.T) {
+	// Regression: E[x²]−E[x]² catastrophically cancels when the mean
+	// dwarfs the spread — the old code clamped the negative variance
+	// to 0 and silently reported StdDev 0. Welford's update is exact
+	// to rounding.
+	xs := []float64{1e9, 1e9 + 1, 1e9 + 2}
+	s := Summarize(xs)
+	want := math.Sqrt(2.0 / 3.0) // population stddev of {0,1,2}
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Fatalf("StdDev = %v, want %v (catastrophic cancellation)", s.StdDev, want)
+	}
+	if s.Mean != 1e9+1 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+
+	// And the shifted sample must agree with the unshifted one.
+	base := Summarize([]float64{0, 1, 2})
+	if math.Abs(base.StdDev-s.StdDev) > 1e-9 {
+		t.Fatalf("shift changed StdDev: %v vs %v", base.StdDev, s.StdDev)
+	}
+}

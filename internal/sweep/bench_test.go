@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+)
+
+// spin is a CPU-bound grid item (~0.5 ms on current hardware): the
+// shape of one pqbench simulation or campaign scenario.
+func spin(i int) (uint64, error) {
+	h := uint64(i) + 0x9e3779b97f4a7c15
+	for j := 0; j < 200_000; j++ {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+	}
+	return h, nil
+}
+
+// benchmarkSweep measures wall-clock time of a 64-item CPU-bound grid
+// at a given worker count; comparing the sequential and parallel
+// variants gives the sweep engine's speedup on this host.
+func benchmarkSweep(b *testing.B, workers int) {
+	var sink uint64
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		if err := Run(64, Config{Parallel: workers}, spin, func(_ int, v uint64) error {
+			sink ^= v
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchmarkSweep(b, 1) }
+
+func BenchmarkSweepParallel4(b *testing.B) { benchmarkSweep(b, 4) }
+
+func BenchmarkSweepParallelMax(b *testing.B) { benchmarkSweep(b, runtime.GOMAXPROCS(0)) }

@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestRunMergesInGridOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const n = 200
+		var got []int
+		err := Run(n, Config{Parallel: workers}, func(i int) (int, error) {
+			// Reverse-staggered sleep: later items complete first, so an
+			// unordered merge would reverse the sequence.
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			return i * i, nil
+		}, func(i, v int) error {
+			if v != i*i {
+				t.Fatalf("workers=%d: merge(%d) got %d", workers, i, v)
+			}
+			got = append(got, i)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: merged %d of %d items", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: merge order broken at %d: %v", workers, i, got[:i+1])
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	// Indices 3 and 7 both fail; index 3 slowest. The sequential loop
+	// would report index 3, so parallel runs must too.
+	for _, workers := range []int{1, 4, 16} {
+		var merged []int
+		err := Run(10, Config{Parallel: workers}, func(i int) (int, error) {
+			switch i {
+			case 3:
+				time.Sleep(20 * time.Millisecond)
+				return 0, fmt.Errorf("boom at 3")
+			case 7:
+				return 0, fmt.Errorf("boom at 7")
+			}
+			return i, nil
+		}, func(i, v int) error {
+			merged = append(merged, i)
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 3" {
+			t.Fatalf("workers=%d: err = %v, want boom at 3", workers, err)
+		}
+		for _, i := range merged {
+			if i >= 3 {
+				t.Fatalf("workers=%d: merged index %d past the error", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunCancelsOnError(t *testing.T) {
+	// With 1 worker the error at index 2 must prevent all later fn
+	// calls — exactly the sequential contract.
+	var calls atomic.Int64
+	err := Run(100, Config{Parallel: 1}, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return 0, nil
+	}, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("fn ran %d times, want 3", got)
+	}
+
+	// Parallel workers stop claiming new items after the error; with a
+	// slow tail the claimed count stays well below n.
+	calls.Store(0)
+	err = Run(10000, Config{Parallel: 2}, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errors.New("stop")
+		}
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	}, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := calls.Load(); got >= 10000 {
+		t.Fatalf("no cancellation: fn ran %d times", got)
+	}
+}
+
+func TestRunMergeErrorStops(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var merges int
+		err := Run(50, Config{Parallel: workers}, func(i int) (int, error) {
+			return i, nil
+		}, func(i, v int) error {
+			merges++
+			if i == 5 {
+				return errors.New("merge boom")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "merge boom" {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if merges != 6 {
+			t.Fatalf("workers=%d: merge ran %d times, want 6", workers, merges)
+		}
+	}
+}
+
+func TestRunEmptyAndNilMerge(t *testing.T) {
+	if err := Run(0, Config{}, func(i int) (int, error) { return 0, nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(5, Config{Parallel: 3}, func(i int) (int, error) { return i, nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	const n = 40
+	err := Run(n, Config{Parallel: 4, Name: "unit", Registry: reg}, func(i int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[`sweep_items_total{sweep="unit"}`]; got != n {
+		t.Fatalf("items counter = %d, want %d", got, n)
+	}
+	if got := snap.Gauges[`sweep_workers_busy{sweep="unit"}`]; got != 0 {
+		t.Fatalf("busy gauge = %v after completion, want 0", got)
+	}
+	h, ok := snap.Histograms[`sweep_queue_depth{sweep="unit"}`]
+	if !ok || h.Count != n {
+		t.Fatalf("queue depth histogram = %+v, want %d observations", h, n)
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if (Config{}).Workers() <= 0 {
+		t.Fatal("default worker count must be positive")
+	}
+	if got := (Config{Parallel: 3}).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+}
+
+func TestNamedKeepsExplicitName(t *testing.T) {
+	if got := (Config{}).Named("x").Name; got != "x" {
+		t.Fatalf("Named gave %q", got)
+	}
+	if got := (Config{Name: "cli"}).Named("x").Name; got != "cli" {
+		t.Fatalf("Named overwrote explicit name: %q", got)
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The determinism contract at the package level: an order-sensitive
+	// aggregation (here a rolling hash) is identical for any worker
+	// count because merges happen in grid order.
+	agg := func(workers int) uint64 {
+		var h uint64 = 1469598103934665603
+		err := Run(500, Config{Parallel: workers}, func(i int) (uint64, error) {
+			return uint64(i)*0x9e3779b97f4a7c15 + 1, nil
+		}, func(i int, v uint64) error {
+			h = (h ^ v) * 1099511628211
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	want := agg(1)
+	for _, w := range []int{2, 3, 8, 32} {
+		if got := agg(w); got != want {
+			t.Fatalf("workers=%d: aggregate %x != sequential %x", w, got, want)
+		}
+	}
+}

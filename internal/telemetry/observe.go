@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nvram"
-	"repro/internal/observer"
 	"repro/internal/trace"
 )
 
@@ -98,30 +97,4 @@ func ObserveDevice(reg *Registry, label string, r nvram.Result) {
 			h.Observe(busy.Seconds() / r.Makespan.Seconds())
 		}
 	}
-}
-
-// ObserveCampaign records a fault-injection campaign's running (or
-// final) outcome as gauges — called from CampaignConfig.Progress, the
-// series track the live campaign state.
-func ObserveCampaign(reg *Registry, label string, out observer.CampaignOutcome) {
-	reg.SetHelp("campaign_scenarios", "fault-injection scenarios classified so far")
-	reg.SetHelp("campaign_outcomes", "scenario outcomes by class")
-	reg.SetHelp("campaign_retries_total", "transient write failures charged to the device model")
-	lbl := func(name string, kv ...string) string {
-		return Label(name, append([]string{"workload", label}, kv...)...)
-	}
-	reg.Gauge(lbl("campaign_scenarios")).Set(float64(out.Scenarios))
-	for _, c := range []struct {
-		class string
-		n     int
-	}{
-		{"masked", out.Masked},
-		{"salvaged", out.Salvaged},
-		{"silent-bit-missed", out.SilentBitMissed},
-		{"annotation-corrupt", out.AnnotationCorrupt},
-		{"silent-corrupt", out.SilentCorrupt},
-	} {
-		reg.Gauge(lbl("campaign_outcomes", "class", c.class)).Set(float64(c.n))
-	}
-	reg.Gauge(lbl("campaign_retries_total")).Set(float64(out.Retries))
 }
