@@ -96,6 +96,7 @@ func main() {
 		faults     = flag.Int("faults", 3, "max injected faults per scenario")
 		replayStr  = flag.String("replay", "", "repro string from a failed campaign; replays it and exits")
 		parallel   = flag.Int("parallel", 0, "cut/scenario evaluation workers; 0 means GOMAXPROCS, 1 forces sequential")
+		traceCache = flag.Int("trace-cache", bench.DefaultCacheEntries, "workload trace cache capacity in traces; 0 disables (re-execute every workload)")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
@@ -159,12 +160,21 @@ func main() {
 		breakBar: *breakBar, omitComp: *omitComp,
 		designStr: *designStr, policyStr: *policyStr,
 	}
-	run, err := build(opts)
+	var cache *bench.TraceCache
+	if *traceCache > 0 {
+		cache = bench.NewTraceCache(*traceCache)
+	}
+	run, err := build(opts, cache)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("workload : %s\n", run.describe)
 	fmt.Printf("model    : %v\n", model)
+	if cache != nil {
+		s := cache.Stats()
+		fmt.Fprintf(os.Stderr, "trace cache: %d hits, %d misses, %.1f%% of %d events replayed\n",
+			s.Hits, s.Misses, 100*s.ReplayRate(), s.EventsReplayed+s.EventsGenerated)
+	}
 
 	if *campaign {
 		reg := telemetry.NewRegistry()
@@ -193,6 +203,7 @@ func main() {
 		}
 		stop()
 		observer.ObserveCampaign(reg, wlabel, out)
+		cache.Observe(reg)
 		if *metricsOut != "" {
 			if merr := writeMetrics(reg, *metricsOut); merr != nil {
 				fatal(merr)
@@ -339,7 +350,7 @@ func replay(line string) int {
 		breakBar: get("break-barrier", "") == "1",
 		omitComp: get("omit-completion-barrier", "") == "1",
 	}
-	run, err := build(opts)
+	run, err := build(opts, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -360,12 +371,49 @@ func replay(line string) int {
 	return 0
 }
 
-// build traces one workload run and wires up both recovery adapters.
-func build(o options) (*workloadRun, error) {
-	tr := &trace.Trace{}
-	m := exec.NewMachine(exec.Config{Threads: o.threads, Seed: o.seed, Sink: tr})
+// build traces one workload run and wires up both recovery adapters. A
+// non-nil cache memoizes the traced execution keyed by the full option
+// set; on a hit only the (deterministic, cheap) setup pass re-runs to
+// rebuild the recovery adapters, and the cached trace is adopted.
+func build(o options, cache *bench.TraceCache) (*workloadRun, error) {
+	if cache == nil {
+		tr := &trace.Trace{}
+		m := exec.NewMachine(exec.Config{Threads: o.threads, Seed: o.seed, Sink: tr})
+		run, body, err := setup(o, m)
+		if err != nil {
+			return nil, err
+		}
+		m.Run(body)
+		run.tr = tr
+		return run, nil
+	}
+	tr, err := cache.Do(o, func() (*trace.Trace, error) {
+		run, err := build(o, nil)
+		if err != nil {
+			return nil, err
+		}
+		return run.tr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := exec.NewMachine(exec.Config{Threads: o.threads, Seed: o.seed, Sink: trace.Discard})
+	run, _, err := setup(o, m)
+	if err != nil {
+		return nil, err
+	}
+	run.tr = tr
+	return run, nil
+}
+
+// setup constructs the workload's persistent structures on m (emitting
+// their allocation/initialization events into m's sink) and returns the
+// recovery adapters plus the per-thread body — everything build needs,
+// without executing the threads.
+func setup(o options, m *exec.Machine) (*workloadRun, func(*exec.Thread), error) {
 	s := m.SetupThread()
-	run := &workloadRun{tr: tr}
+	run := &workloadRun{}
+	var body func(*exec.Thread)
 	switch o.workload {
 	case "queue":
 		q, err := queue.New(s, queue.Config{
@@ -377,7 +425,7 @@ func build(o options) (*workloadRun, error) {
 			OmitCompletionBarrier: o.omitComp,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		meta := q.Meta()
 		per := o.inserts / o.threads
@@ -389,11 +437,11 @@ func build(o options) (*workloadRun, error) {
 				expect[string(queue.MakePayload(uint64(tid)<<32|uint64(i), o.payload))] = true
 			}
 		}
-		m.Run(func(t *exec.Thread) {
+		body = func(t *exec.Thread) {
 			for i := 0; i < per; i++ {
 				q.Insert(t, queue.MakePayload(uint64(t.TID())<<32|uint64(i), o.payload))
 			}
-		})
+		}
 		run.rec = func(im *memory.Image) error {
 			_, err := queue.Recover(im, meta)
 			return err
@@ -409,7 +457,7 @@ func build(o options) (*workloadRun, error) {
 	case "journal":
 		jpol, err := journalPolicy(o.policy)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		st, err := journal.New(s, journal.Config{
 			Blocks:       2 * o.threads,
@@ -417,11 +465,11 @@ func build(o options) (*workloadRun, error) {
 			Policy:       jpol,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		meta := st.Meta()
 		per := o.inserts / o.threads
-		m.Run(func(t *exec.Thread) {
+		body = func(t *exec.Thread) {
 			g := t.TID()
 			for i := 0; i < per; i++ {
 				tag := uint64(t.TID()*100000 + i + 1)
@@ -430,7 +478,7 @@ func build(o options) (*workloadRun, error) {
 					{Block: 2*g + 1, Data: journal.MakeBlock(tag)},
 				})
 			}
-		})
+		}
 		run.rec = func(im *memory.Image) error {
 			state, err := journal.Recover(im, meta)
 			if err != nil {
@@ -450,11 +498,11 @@ func build(o options) (*workloadRun, error) {
 		ppol := pstmPolicy(o.policy)
 		h, err := pstm.New(s, pstm.Config{Words: 2 * o.threads, UndoCap: 8, Policy: ppol})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		meta := h.Meta()
 		per := o.inserts / o.threads
-		m.Run(func(t *exec.Thread) {
+		body = func(t *exec.Thread) {
 			g := t.TID()
 			for i := 0; i < per; i++ {
 				v := uint64(t.TID()*100000 + i + 1)
@@ -463,7 +511,7 @@ func build(o options) (*workloadRun, error) {
 					tx.Store(2*g+1, v)
 				})
 			}
-		})
+		}
 		run.rec = func(im *memory.Image) error {
 			state, err := pstm.Recover(im, meta)
 			if err != nil {
@@ -480,9 +528,9 @@ func build(o options) (*workloadRun, error) {
 		}
 		run.describe = fmt.Sprintf("pstm heap, %v annotations, %d threads, %d txns", ppol, o.threads, per*o.threads)
 	default:
-		return nil, fmt.Errorf("unknown workload %q", o.workload)
+		return nil, nil, fmt.Errorf("unknown workload %q", o.workload)
 	}
-	return run, nil
+	return run, body, nil
 }
 
 // checkQueueEntries validates recovered entries against the insert set:

@@ -51,6 +51,7 @@ func main() {
 		traceIns   = flag.Int("trace-inserts", 200, "inserts per configuration in the -trace-out timeline pass")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
 		parallel   = flag.Int("parallel", 0, "sweep worker count; 0 means GOMAXPROCS, 1 forces sequential")
+		traceCache = flag.Int("trace-cache", bench.DefaultCacheEntries, "workload trace cache capacity in traces; 0 disables (re-execute every workload)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -74,6 +75,13 @@ func main() {
 	// Every experiment grid shares one sweep configuration; each sweep
 	// labels its own telemetry series via Named.
 	sw := sweep.Config{Parallel: *parallel, Registry: reg}
+	// One trace cache spans every experiment, so workloads shared across
+	// experiments (e.g. fig4/fig5, banks/races) execute exactly once. A
+	// nil cache streams every execution.
+	var cache *bench.TraceCache
+	if *traceCache > 0 {
+		cache = bench.NewTraceCache(*traceCache)
+	}
 	threads, err := parseInts(*threadsStr)
 	if err != nil {
 		fatal(err)
@@ -106,7 +114,7 @@ func main() {
 		cfg := bench.Table1Config{
 			Inserts: *inserts, PayloadLen: *payload, Threads: threads,
 			Latency: *latency, Seed: *seed, InstrRate: *instrRate,
-			Sweep: sw,
+			Sweep: sw, Cache: cache,
 		}
 		rows, err := bench.Table1(cfg)
 		if err != nil {
@@ -137,7 +145,7 @@ func main() {
 	})
 
 	run("fig2", func() error {
-		rows, err := bench.Fig2(min(*inserts, 200), *seed, sw)
+		rows, err := bench.Fig2(min(*inserts, 200), *seed, sw, cache)
 		if err != nil {
 			return err
 		}
@@ -152,7 +160,7 @@ func main() {
 	})
 
 	run("fig3", func() error {
-		points, err := bench.Fig3(bench.Fig3Config{Inserts: *inserts, PayloadLen: *payload, Seed: *seed, InstrRate: *instrRate, Sweep: sw})
+		points, err := bench.Fig3(bench.Fig3Config{Inserts: *inserts, PayloadLen: *payload, Seed: *seed, InstrRate: *instrRate, Sweep: sw, Cache: cache})
 		if err != nil {
 			return err
 		}
@@ -168,7 +176,7 @@ func main() {
 	})
 
 	run("fig4", func() error {
-		points, err := bench.Fig4(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed, Sweep: sw})
+		points, err := bench.Fig4(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed, Sweep: sw, Cache: cache})
 		if err != nil {
 			return err
 		}
@@ -181,7 +189,7 @@ func main() {
 	})
 
 	run("fig5", func() error {
-		points, err := bench.Fig5(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed, Sweep: sw})
+		points, err := bench.Fig5(bench.GranularityConfig{Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed, Sweep: sw, Cache: cache})
 		if err != nil {
 			return err
 		}
@@ -197,7 +205,7 @@ func main() {
 		// Device ablation: beyond the paper's infinite-bandwidth
 		// assumption, sweep bank counts for the epoch-annotated queue.
 		w := bench.Workload{Design: queue.CWL, Policy: queue.PolicyEpoch, Threads: 4, Inserts: min(*inserts, 2000), PayloadLen: *payload, Seed: *seed}
-		tr, err := bench.Trace(w)
+		tr, err := cache.Trace(w)
 		if err != nil {
 			return err
 		}
@@ -225,7 +233,7 @@ func main() {
 	})
 
 	run("window", func() error {
-		points, err := bench.WindowAblation(min(*inserts, 5000), *seed, nil, sw)
+		points, err := bench.WindowAblation(min(*inserts, 5000), *seed, nil, sw, cache)
 		if err != nil {
 			return err
 		}
@@ -239,7 +247,7 @@ func main() {
 	})
 
 	run("journal", func() error {
-		rows, err := bench.JournalTable(min(*inserts, 5000), threads, *seed, sw)
+		rows, err := bench.JournalTable(min(*inserts, 5000), threads, *seed, sw, cache)
 		if err != nil {
 			return err
 		}
@@ -256,7 +264,7 @@ func main() {
 		for _, pol := range queue.Policies {
 			for _, th := range threads {
 				w := bench.Workload{Design: queue.CWL, Policy: pol, Threads: th, Inserts: min(*inserts, 10000), PayloadLen: *payload, Seed: *seed}
-				r, err := bench.Simulate(w, core.Params{Model: bench.ModelFor(pol), TrackWorkPath: true})
+				r, err := bench.SimulateCached(cache, w, core.Params{Model: bench.ModelFor(pol), TrackWorkPath: true})
 				if err != nil {
 					return err
 				}
@@ -284,7 +292,7 @@ func main() {
 		for _, pol := range queue.Policies {
 			for _, th := range threads {
 				w := bench.Workload{Design: queue.CWL, Policy: pol, Threads: th, Inserts: min(*inserts, 2000), PayloadLen: *payload, Seed: *seed}
-				tr, err := bench.Trace(w)
+				tr, err := cache.Trace(w)
 				if err != nil {
 					return err
 				}
@@ -301,7 +309,7 @@ func main() {
 	})
 
 	run("pstm", func() error {
-		rows, err := bench.PSTMTable(min(*inserts, 5000), threads, *seed, sw)
+		rows, err := bench.PSTMTable(min(*inserts, 5000), threads, *seed, sw, cache)
 		if err != nil {
 			return err
 		}
@@ -320,7 +328,7 @@ func main() {
 			Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed,
 			DataBytes: 1 << 16, Overwrite: true,
 		}
-		tr, err := bench.Trace(w)
+		tr, err := cache.Trace(w)
 		if err != nil {
 			return err
 		}
@@ -365,7 +373,7 @@ func main() {
 			}
 		}
 		w := bench.Workload{Design: queue.CWL, Policy: queue.PolicyStrict, Threads: 1, Inserts: *inserts, PayloadLen: *payload, Seed: *seed}
-		r, err := bench.Simulate(w, core.Params{Model: core.Strict})
+		r, err := bench.SimulateCached(cache, w, core.Params{Model: core.Strict})
 		if err != nil {
 			return err
 		}
@@ -399,6 +407,12 @@ func main() {
 		if err := tracePass(reg, *traceOut, maxT, *payload, *traceIns, *seed); err != nil {
 			fatal(err)
 		}
+	}
+	cache.Observe(reg)
+	if cache != nil && !*jsonOut {
+		s := cache.Stats()
+		fmt.Printf("trace cache: %d hits, %d misses, %d evictions, %.1f%% of %d events replayed\n",
+			s.Hits, s.Misses, s.Evictions, 100*s.ReplayRate(), s.EventsReplayed+s.EventsGenerated)
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(reg, *metricsOut); err != nil {

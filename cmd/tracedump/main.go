@@ -87,22 +87,20 @@ func main() {
 
 	fmt.Println("\n== persist critical path per model ==")
 	tbl := stats.NewTable("model", "critical-path", "placed", "coalesced")
-	for _, m := range core.Models {
-		r, err := core.Simulate(tr, core.Params{Model: m})
-		if err != nil {
-			fatal(err)
-		}
-		tbl.AddRow(m.String(), fmt.Sprint(r.CriticalPath), fmt.Sprint(r.Placed), fmt.Sprint(r.Coalesced))
+	rs, err := core.SimulateAll(tr, core.Params{})
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rs {
+		tbl.AddRow(r.Model.String(), fmt.Sprint(r.CriticalPath), fmt.Sprint(r.Placed), fmt.Sprint(r.Coalesced))
 	}
 	fmt.Print(tbl.String())
 
 	if *dump > 0 {
 		fmt.Printf("\n== first %d events ==\n", *dump)
-		for i, e := range tr.Events {
-			if i >= *dump {
-				break
-			}
-			fmt.Println(e.String())
+		n := min2(*dump, tr.Len())
+		for i := 0; i < n; i++ {
+			fmt.Println(tr.At(i).String())
 		}
 	}
 
@@ -155,6 +153,13 @@ func parsePolicy(s string) (queue.Policy, error) {
 	default:
 		return 0, fmt.Errorf("unknown policy %q", s)
 	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func fatal(err error) {

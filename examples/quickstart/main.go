@@ -47,16 +47,17 @@ func main() {
 	fmt.Printf("traced %d events, %d persists\n\n",
 		tr.Len(), trace.Summarize(tr).Persists)
 
-	// Replay the same trace through each persistency model.
+	// Replay the same trace through every persistency model in a single
+	// pass (SimulateAll walks the trace once, feeding all models).
 	const latency = 500 * time.Nanosecond
 	tbl := stats.NewTable("model", "critical path", "coalesced", "persist-bound rate")
-	for _, model := range core.Models {
-		r, err := core.Simulate(tr, core.Params{Model: model})
-		if err != nil {
-			panic(err)
-		}
+	rs, err := core.SimulateAll(tr, core.Params{})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rs {
 		tbl.AddRow(
-			model.String(),
+			r.Model.String(),
 			fmt.Sprint(r.CriticalPath),
 			fmt.Sprint(r.Coalesced),
 			stats.FormatRate(r.PersistBoundRate(latency)),

@@ -131,10 +131,11 @@ func Simulate(w Workload, p core.Params) (core.Result, error) {
 // the simulator (telemetry tracers implement core.Probe); a nil probe
 // is plain Simulate.
 func SimulateProbed(w Workload, p core.Params, probe core.Probe) (core.Result, error) {
-	sim, err := core.NewSim(p)
+	sim, err := core.AcquireSim(p)
 	if err != nil {
 		return core.Result{}, err
 	}
+	defer core.ReleaseSim(sim)
 	if probe != nil {
 		sim.SetProbe(probe)
 	}

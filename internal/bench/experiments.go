@@ -42,6 +42,13 @@ type Table1Config struct {
 	// Sweep controls grid parallelism; the zero value runs on
 	// GOMAXPROCS workers. Results are identical at any worker count.
 	Sweep sweep.Config
+	// Cache, when non-nil, materializes each distinct workload's trace
+	// once and replays it for every cell that shares it (the four
+	// policies of a (threads, design) pair differ only by annotation
+	// sites, so their traces differ and do not collide — but repeated
+	// invocations and the simulator's pooled replay path still win).
+	// Nil streams each cell's execution directly into its simulator.
+	Cache *TraceCache
 }
 
 func (c *Table1Config) normalize() {
@@ -105,8 +112,8 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 			}
 		}
 	}
-	// Phase 2, parallel: each cell re-executes its workload and
-	// simulates independently (never sharing a trace across workers).
+	// Phase 2, parallel: each cell simulates independently; workers
+	// share read-only traces through cfg.Cache when one is given.
 	rows := make([]Table1Row, 0, len(grid))
 	err := sweep.Run(len(grid), cfg.Sweep.Named("table1"),
 		func(i int) (Table1Row, error) {
@@ -115,7 +122,7 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 				Design: c.design, Policy: c.policy, Threads: c.threads,
 				Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed,
 			}
-			r, err := Simulate(w, core.Params{Model: ModelFor(c.policy)})
+			r, err := SimulateCached(cfg.Cache, w, core.Params{Model: ModelFor(c.policy)})
 			if err != nil {
 				return Table1Row{}, fmt.Errorf("bench: %v: %w", w, err)
 			}
@@ -183,6 +190,8 @@ type Fig3Config struct {
 	InstrRate float64
 	// Sweep controls grid parallelism (one worker per policy here).
 	Sweep sweep.Config
+	// Cache optionally replays cached traces instead of re-executing.
+	Cache *TraceCache
 }
 
 // Fig3Point is one plotted point: achievable rate at one latency under
@@ -230,7 +239,7 @@ func Fig3(cfg Fig3Config) ([]Fig3Point, error) {
 		func(i int) (core.Result, error) {
 			pol := Fig3Policies[i]
 			w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed}
-			return Simulate(w, core.Params{Model: ModelFor(pol)})
+			return SimulateCached(cfg.Cache, w, core.Params{Model: ModelFor(pol)})
 		},
 		func(i int, r core.Result) error {
 			pol := Fig3Policies[i]
@@ -304,6 +313,9 @@ type GranularityConfig struct {
 	Seed int64
 	// Sweep controls grid parallelism across (policy × granularity).
 	Sweep sweep.Config
+	// Cache optionally holds the per-policy traces, so Fig4 and Fig5
+	// (which sweep the same workloads) generate them once between them.
+	Cache *TraceCache
 }
 
 func (c *GranularityConfig) normalize() {
@@ -339,7 +351,7 @@ func granularitySweep(cfg GranularityConfig, mkParams func(core.Model, uint64) c
 		func(i int) (*trace.Trace, error) {
 			pol := granPolicies[i]
 			w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: cfg.Inserts, PayloadLen: cfg.PayloadLen, Seed: cfg.Seed}
-			return Trace(w)
+			return cfg.Cache.Trace(w)
 		},
 		func(i int, tr *trace.Trace) error {
 			traces[i] = tr
@@ -433,8 +445,9 @@ type WindowPoint struct {
 
 // WindowAblation sweeps the coalescing window for the strand-annotated
 // CWL queue (1 thread); the per-window simulations run on sw workers
-// over one shared trace.
-func WindowAblation(inserts int, seed int64, windows []int64, sw sweep.Config) ([]WindowPoint, error) {
+// over one shared trace (cached across invocations when cache is
+// non-nil).
+func WindowAblation(inserts int, seed int64, windows []int64, sw sweep.Config, cache *TraceCache) ([]WindowPoint, error) {
 	if inserts <= 0 {
 		inserts = 5000
 	}
@@ -442,7 +455,7 @@ func WindowAblation(inserts int, seed int64, windows []int64, sw sweep.Config) (
 		windows = []int64{0, 1024, 256, 64, 16, 4}
 	}
 	w := Workload{Design: queue.CWL, Policy: queue.PolicyStrand, Threads: 1, Inserts: inserts, PayloadLen: 100, Seed: seed}
-	tr, err := Trace(w)
+	tr, err := cache.Trace(w)
 	if err != nil {
 		return nil, err
 	}
@@ -494,23 +507,37 @@ type Fig2Row struct {
 	CriticalPath int64
 }
 
-// Fig2 builds the constraint DAG of a small CWL run per policy, one
-// policy per sweep worker.
-func Fig2(inserts int, seed int64, sw sweep.Config) ([]Fig2Row, error) {
+// Fig2 builds the constraint DAG of a small CWL run per policy. Trace
+// generation is hoisted into its own phase — the trace depends only on
+// the policy, not on anything the graph phase varies — so each
+// execution runs exactly once (and is shared across invocations when
+// cache is non-nil) before the graph builders fan out over sw workers.
+func Fig2(inserts int, seed int64, sw sweep.Config, cache *TraceCache) ([]Fig2Row, error) {
 	if inserts <= 0 {
 		inserts = 50
 	}
-	rows := make([]Fig2Row, 0, len(queue.Policies))
-	err := sweep.Run(len(queue.Policies), sw.Named("fig2"),
-		func(i int) (Fig2Row, error) {
+	// Phase 1: one trace per policy.
+	traces := make([]*trace.Trace, len(queue.Policies))
+	err := sweep.Run(len(queue.Policies), sw.Named("fig2-trace"),
+		func(i int) (*trace.Trace, error) {
 			pol := queue.Policies[i]
 			w := Workload{Design: queue.CWL, Policy: pol, Threads: 1, Inserts: inserts, PayloadLen: 100, Seed: seed}
-			tr, err := Trace(w)
-			if err != nil {
-				return Fig2Row{}, err
-			}
+			return cache.Trace(w)
+		},
+		func(i int, tr *trace.Trace) error {
+			traces[i] = tr
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Phase 2: constraint graphs over the read-only traces.
+	rows := make([]Fig2Row, 0, len(queue.Policies))
+	err = sweep.Run(len(queue.Policies), sw.Named("fig2"),
+		func(i int) (Fig2Row, error) {
+			pol := queue.Policies[i]
 			model := ModelFor(pol)
-			g, err := graph.Build(tr, core.Params{Model: model})
+			g, err := graph.Build(traces[i], core.Params{Model: model})
 			if err != nil {
 				return Fig2Row{}, err
 			}

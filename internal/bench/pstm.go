@@ -8,10 +8,69 @@ import (
 	"repro/internal/pstm"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // Durable-transaction (pstm) workload harness: persist concurrency of
 // undo-log transactions under each annotation discipline.
+
+// PSTMWorkload describes one durable-transaction benchmark
+// configuration: each thread runs paired-word undo-log transactions
+// against its own word pair, so transactions conflict only on the
+// pstm metadata.
+type PSTMWorkload struct {
+	// Policy selects the annotation discipline.
+	Policy pstm.Policy
+	// Threads is the simulated thread count.
+	Threads int
+	// Txns is the total transaction count.
+	Txns int
+	// Seed drives interleavings.
+	Seed int64
+}
+
+func (w *PSTMWorkload) normalize() {
+	if w.Threads <= 0 {
+		w.Threads = 1
+	}
+	if w.Txns <= 0 {
+		w.Txns = 1000
+	}
+}
+
+// RunPSTM executes the workload, streaming events into sink.
+func RunPSTM(w PSTMWorkload, sink trace.Sink) error {
+	w.normalize()
+	m := exec.NewMachine(exec.Config{Threads: w.Threads, Seed: w.Seed, Sink: sink})
+	s := m.SetupThread()
+	h, err := pstm.New(s, pstm.Config{Words: 2 * w.Threads, UndoCap: 8, Policy: w.Policy})
+	if err != nil {
+		return err
+	}
+	per := w.Txns / w.Threads
+	m.Run(func(t *exec.Thread) {
+		for i := 0; i < per; i++ {
+			id := uint64(t.TID())<<32 | uint64(i)
+			t.BeginWork(id)
+			h.Atomic(t, func(tx *pstm.Tx) {
+				v := uint64(i + 1)
+				tx.Store(t.TID()*2, v)
+				tx.Store(t.TID()*2+1, v)
+			})
+			t.EndWork(id)
+		}
+	})
+	return nil
+}
+
+// PSTMTrace executes the workload and returns the captured trace.
+func PSTMTrace(w PSTMWorkload) (*trace.Trace, error) {
+	tr := &trace.Trace{}
+	if err := RunPSTM(w, tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
 
 // PSTMRow is one row of the pstm persist-concurrency table.
 type PSTMRow struct {
@@ -35,8 +94,10 @@ func PSTMModelFor(p pstm.Policy) core.Model {
 
 // PSTMTable evaluates persist concurrency of paired-word durable
 // transactions (racing excluded: unsafe for this structure), fanning
-// the (threads × policy) grid across sw workers.
-func PSTMTable(txns int, threads []int, seed int64, sw sweep.Config) ([]PSTMRow, error) {
+// the (threads × policy) grid across sw workers. A non-nil cache
+// materializes each (threads, policy) execution once and replays it on
+// the pooled simulator path; repeated invocations reuse the traces.
+func PSTMTable(txns int, threads []int, seed int64, sw sweep.Config, cache *TraceCache) ([]PSTMRow, error) {
 	if txns <= 0 {
 		txns = 1000
 	}
@@ -60,33 +121,11 @@ func PSTMTable(txns int, threads []int, seed int64, sw sweep.Config) ([]PSTMRow,
 	err := sweep.Run(len(grid), sw.Named("pstm"),
 		func(i int) (PSTMRow, error) {
 			c := grid[i]
-			sim, err := core.NewSim(core.Params{Model: PSTMModelFor(c.policy)})
+			w := PSTMWorkload{Policy: c.policy, Threads: c.threads, Txns: txns, Seed: seed}
+			r, err := SimulatePSTMCached(cache, w, core.Params{Model: PSTMModelFor(c.policy)})
 			if err != nil {
-				return PSTMRow{}, err
+				return PSTMRow{}, fmt.Errorf("bench: pstm %v/%dT: %w", c.policy, c.threads, err)
 			}
-			m := exec.NewMachine(exec.Config{Threads: c.threads, Seed: seed, Sink: sim})
-			s := m.SetupThread()
-			h, err := pstm.New(s, pstm.Config{Words: 2 * c.threads, UndoCap: 8, Policy: c.policy})
-			if err != nil {
-				return PSTMRow{}, err
-			}
-			per := txns / c.threads
-			m.Run(func(t *exec.Thread) {
-				for i := 0; i < per; i++ {
-					id := uint64(t.TID())<<32 | uint64(i)
-					t.BeginWork(id)
-					h.Atomic(t, func(tx *pstm.Tx) {
-						v := uint64(i + 1)
-						tx.Store(t.TID()*2, v)
-						tx.Store(t.TID()*2+1, v)
-					})
-					t.EndWork(id)
-				}
-			})
-			if err := sim.Err(); err != nil {
-				return PSTMRow{}, err
-			}
-			r := sim.Result()
 			return PSTMRow{Policy: c.policy, Threads: c.threads, Result: r, PathPerTxn: r.PathPerWork()}, nil
 		},
 		func(_ int, r PSTMRow) error {

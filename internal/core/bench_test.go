@@ -44,6 +44,43 @@ func BenchmarkSimFeed(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateAll measures the single-pass multi-model walk: one
+// trace decode feeding every model's simulator (the MultiSim path).
+func BenchmarkSimulateAll(b *testing.B) {
+	tr := synthTrace(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateAll(tr, Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()*len(Models)), "simevents/run")
+}
+
+// TestSimulateAllocsPerEvent guards the allocation-lean replay path:
+// once the pooled simulator is warm, replaying a trace must not
+// allocate per event — only a bounded per-run residue (result bookkeeping,
+// pool slot churn) is allowed, for both the strict and epoch hot paths.
+func TestSimulateAllocsPerEvent(t *testing.T) {
+	tr := synthTrace(10000)
+	for _, m := range []Model{Strict, Epoch} {
+		// Warm the sim pool and the dense block tables.
+		if _, err := Simulate(tr, Params{Model: m}); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := Simulate(tr, Params{Model: m}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		perEvent := allocs / float64(tr.Len())
+		if perEvent > 0.01 {
+			t.Errorf("%v: %.1f allocs per 10k-event replay (%.4f/event), want ~0/event",
+				m, allocs, perEvent)
+		}
+	}
+}
+
 // BenchmarkCtxMerge measures the dependence-context lattice.
 func BenchmarkCtxMerge(b *testing.B) {
 	a := Ctx{Lvl: 10, Src: 3, Lvl2: 7}

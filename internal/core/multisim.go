@@ -1,0 +1,82 @@
+package core
+
+import "repro/internal/trace"
+
+// MultiSim drives several persistency-model simulators through one walk
+// of a trace. The paper's evaluation compares every model on the same
+// execution (§7: one trace per workload, simulated under each model);
+// feeding all models from a single pass shares the per-event work that
+// does not depend on the model — the trace walk itself and event
+// validation — while each model keeps fully independent dependence
+// state.
+//
+// Shared-walk invariants: simulators never communicate; each observes
+// the identical SC event sequence it would see from a solo Simulate
+// run, and no simulator reads Event.Seq, so results are byte-identical
+// to per-model simulation (TestMultiSimEquivalence pins this). The one
+// shared step is validation — events are validated once here and fed to
+// the models' unvalidated fast path.
+type MultiSim struct {
+	sims []*Sim
+	err  error
+}
+
+// NewMultiSim constructs one simulator per model, all sharing base's
+// granularity parameters (base.Model is ignored). With no models given
+// it defaults to Models.
+func NewMultiSim(base Params, models ...Model) (*MultiSim, error) {
+	if len(models) == 0 {
+		models = Models
+	}
+	m := &MultiSim{sims: make([]*Sim, 0, len(models))}
+	for _, mod := range models {
+		p := base
+		p.Model = mod
+		s, err := NewSim(p)
+		if err != nil {
+			return nil, err
+		}
+		m.sims = append(m.sims, s)
+	}
+	return m, nil
+}
+
+// Feed validates e once and feeds it to every model's simulator.
+func (m *MultiSim) Feed(e trace.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	for _, s := range m.sims {
+		if err := s.feed(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Emit implements trace.Sink, so a MultiSim can observe an execution
+// live in place of a per-model Tee of Sims.
+func (m *MultiSim) Emit(e trace.Event) {
+	if m.err != nil {
+		return
+	}
+	if err := m.Feed(e); err != nil {
+		m.err = err
+	}
+}
+
+// Err returns the first event-processing error, if any.
+func (m *MultiSim) Err() error { return m.err }
+
+// Sims exposes the per-model simulators, in the order the models were
+// given — e.g. to attach telemetry probes before feeding.
+func (m *MultiSim) Sims() []*Sim { return m.sims }
+
+// Results finalizes and returns each model's outcome, in model order.
+func (m *MultiSim) Results() []Result {
+	out := make([]Result, len(m.sims))
+	for i, s := range m.sims {
+		out[i] = s.Result()
+	}
+	return out
+}

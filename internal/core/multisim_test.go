@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/queue"
+	"repro/internal/telemetry"
+)
+
+// TestMultiSimEquivalence pins the shared-walk invariant: feeding one
+// trace walk into every model simultaneously produces results
+// byte-identical (including WorkPathDeltas) to running each model's
+// simulator over the trace on its own — across all models, both queue
+// designs, and several interleavings.
+func TestMultiSimEquivalence(t *testing.T) {
+	for _, design := range []queue.Design{queue.CWL, queue.TwoLock} {
+		for _, seed := range []int64{1, 7, 42} {
+			w := bench.Workload{
+				Design: design, Policy: queue.PolicyEpoch,
+				Threads: 2, Inserts: 120, Seed: seed,
+			}
+			tr, err := bench.Trace(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := core.Params{TrackWorkPath: true}
+			got, err := core.SimulateAll(tr, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(core.Models) {
+				t.Fatalf("SimulateAll returned %d results, want %d", len(got), len(core.Models))
+			}
+			for i, m := range core.Models {
+				p := base
+				p.Model = m
+				want, err := core.Simulate(tr, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got[i]) {
+					t.Errorf("%v seed %d %v: multi-sim result differs from solo\nsolo:  %+v\nmulti: %+v",
+						design, seed, m, want, got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiSimProbeEquivalence attaches persist-timeline tracers to the
+// per-model simulators inside a MultiSim and checks each tracer against
+// both its own result and a solo probed run: same critical path, same
+// attribution report.
+func TestMultiSimProbeEquivalence(t *testing.T) {
+	w := bench.Workload{Design: queue.CWL, Policy: queue.PolicyEpoch, Threads: 2, Inserts: 80, Seed: 5}
+	tr, err := bench.Trace(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []core.Model{core.Strict, core.Epoch, core.Strand}
+	ms, err := core.NewMultiSim(core.Params{}, models...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiTracers := make([]*telemetry.Tracer, len(models))
+	for i, s := range ms.Sims() {
+		multiTracers[i] = telemetry.NewTracer(models[i], "probe")
+		s.SetProbe(multiTracers[i])
+	}
+	for e := range tr.All() {
+		if err := ms.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := ms.Results()
+	for i, m := range models {
+		if err := multiTracers[i].Verify(rs[i]); err != nil {
+			t.Fatalf("%v: multi-sim tracer inconsistent with result: %v", m, err)
+		}
+		solo, err := core.NewSim(core.Params{Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloTracer := telemetry.NewTracer(m, "probe")
+		solo.SetProbe(soloTracer)
+		for e := range tr.All() {
+			if err := solo.Feed(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sr := solo.Result()
+		if err := soloTracer.Verify(sr); err != nil {
+			t.Fatalf("%v: solo tracer inconsistent: %v", m, err)
+		}
+		if a, b := soloTracer.CriticalPath(), multiTracers[i].CriticalPath(); a != b {
+			t.Errorf("%v: probe critical path differs: solo %d, multi %d", m, a, b)
+		}
+		if a, b := soloTracer.Attribute(3).Render(), multiTracers[i].Attribute(3).Render(); a != b {
+			t.Errorf("%v: attribution report differs\nsolo:\n%s\nmulti:\n%s", m, a, b)
+		}
+	}
+}
+
+// TestMultiSimEmit drives a MultiSim as a live trace.Sink and checks it
+// matches the replayed walk.
+func TestMultiSimEmit(t *testing.T) {
+	w := bench.Workload{Design: queue.TwoLock, Policy: queue.PolicyStrand, Threads: 2, Inserts: 60, Seed: 9}
+	tr, err := bench.Trace(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.SimulateAll(tr, core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := core.NewMultiSim(core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.Run(w, ms); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, ms.Results()) {
+		t.Fatal("live-streamed MultiSim results differ from trace replay")
+	}
+}

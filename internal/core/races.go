@@ -107,7 +107,7 @@ func DetectEpochRaces(tr *trace.Trace, cfg RaceConfig) (RaceReport, error) {
 		}
 		return false
 	}
-	for _, e := range tr.Events {
+	for e := range tr.All() {
 		if bump(e) {
 			continue
 		}
@@ -136,7 +136,7 @@ func DetectEpochRaces(tr *trace.Trace, cfg RaceConfig) (RaceReport, error) {
 			})
 		}
 	}
-	for _, e := range tr.Events {
+	for e := range tr.All() {
 		if bump(e) {
 			if err := sim.Feed(e); err != nil {
 				return RaceReport{}, err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/memory"
 	"repro/internal/trace"
@@ -24,13 +25,28 @@ import (
 type Sim struct {
 	params Params
 	spec   spec
+	// gen stamps the dense state tables below: an entry is live iff its
+	// stamp equals gen. Reset bumps gen, invalidating all per-run state
+	// in O(1) without clearing or reallocating the tables.
+	gen uint64
 
-	threads map[int32]*threadState
-	blocks  map[memory.BlockID]*blockState
+	// threads is dense per-thread state indexed by TID (the execution
+	// engine numbers threads from zero).
+	threads []threadState
+	// trackV/trackP hold per-tracking-block state for the volatile and
+	// persistent address spaces, indexed by block-id offset from each
+	// space's base block. Heaps allocate first-fit from the space base,
+	// so offsets stay small and dense.
+	trackV, trackP blockTable
 	// atoms tracks each atomic block's open (most recent) persist: its
 	// level, and the global placement sequence when it opened (for the
-	// finite coalescing window).
-	atoms map[memory.BlockID]openPersist
+	// finite coalescing window). Persists exist only in the persistent
+	// space, so one table suffices.
+	atoms atomTable
+
+	// touched is per-persist scratch: the tracking blocks spanned by the
+	// access, revisited after placement.
+	touched []*blockState
 
 	res Result
 	err error
@@ -89,6 +105,82 @@ type threadState struct {
 	epoch, strand int64
 }
 
+// blockEntry is a blockTable slot: tracking-block state plus the
+// generation stamp that says whether it belongs to the current run.
+type blockEntry struct {
+	blockState
+	gen uint64
+}
+
+// blockTable is a growable dense table of tracking-block state for one
+// address space, indexed by block-id offset from the space's base.
+type blockTable struct {
+	base    memory.BlockID
+	entries []blockEntry
+}
+
+// ensure grows the table to cover index idx. Growing reallocates, so
+// callers that retain entry pointers must ensure the full span they
+// will touch before taking any pointer.
+func (tb *blockTable) ensure(idx int) {
+	if idx < len(tb.entries) {
+		return
+	}
+	n := idx + 1
+	if m := 2 * len(tb.entries); n < m {
+		n = m
+	}
+	ne := make([]blockEntry, n)
+	copy(ne, tb.entries)
+	tb.entries = ne
+}
+
+// get returns the live state for block b, lazily reinitializing a slot
+// left over from an earlier generation.
+func (tb *blockTable) get(b memory.BlockID, gen uint64) *blockState {
+	idx := int(b - tb.base)
+	tb.ensure(idx)
+	e := &tb.entries[idx]
+	if e.gen != gen {
+		e.gen = gen
+		e.blockState = blockState{
+			writer: zeroCtx, reader: zeroCtx, lastP: zeroCtx,
+			writerSrc: -1, readerSrc: -1, lastPSrc: -1,
+		}
+	}
+	return &e.blockState
+}
+
+// atomEntry and atomTable are the same dense-plus-generation scheme for
+// atomic persist blocks; a stale stamp doubles as "no open persist".
+type atomEntry struct {
+	openPersist
+	gen uint64
+}
+
+type atomTable struct {
+	base    memory.BlockID
+	entries []atomEntry
+}
+
+func (tb *atomTable) ensure(idx int) {
+	if idx < len(tb.entries) {
+		return
+	}
+	n := idx + 1
+	if m := 2 * len(tb.entries); n < m {
+		n = m
+	}
+	ne := make([]atomEntry, n)
+	copy(ne, tb.entries)
+	tb.entries = ne
+}
+
+// at returns the slot for block b; the caller must have ensured idx.
+func (tb *atomTable) at(b memory.BlockID) *atomEntry {
+	return &tb.entries[int(b-tb.base)]
+}
+
 // blockState is the per-tracking-block dependence state.
 type blockState struct {
 	// writer is the persist context made visible by stores to this
@@ -108,17 +200,35 @@ type blockState struct {
 
 // NewSim constructs a simulator; Params are validated here.
 func NewSim(p Params) (*Sim, error) {
-	if err := p.normalize(); err != nil {
+	s := &Sim{}
+	if err := s.Reset(p); err != nil {
 		return nil, err
 	}
-	return &Sim{
-		params:  p,
-		spec:    p.Model.spec(),
-		threads: make(map[int32]*threadState),
-		blocks:  make(map[memory.BlockID]*blockState),
-		atoms:   make(map[memory.BlockID]openPersist),
-		res:     Result{Model: p.Model, Params: p},
-	}, nil
+	return s, nil
+}
+
+// Reset reinitializes the simulator for a fresh run under p, retaining
+// the allocated state tables so one Sim can replay many traces without
+// churning the allocator. Invalidation is O(1): the generation stamp is
+// bumped and stale entries reinitialize lazily on first touch. Any
+// attached probe is detached.
+func (s *Sim) Reset(p Params) error {
+	if err := p.normalize(); err != nil {
+		return err
+	}
+	s.params = p
+	s.spec = p.Model.spec()
+	s.gen++
+	s.threads = s.threads[:0]
+	s.trackV.base = memory.BlockOf(memory.VolatileBase, p.TrackingGranularity)
+	s.trackP.base = memory.BlockOf(memory.PersistentBase, p.TrackingGranularity)
+	s.atoms.base = memory.BlockOf(memory.PersistentBase, p.AtomicGranularity)
+	s.touched = s.touched[:0]
+	s.res = Result{Model: p.Model, Params: p}
+	s.err = nil
+	s.lastWorkPath = 0
+	s.probe = nil
+	return nil
 }
 
 // MustNewSim is NewSim for static parameters.
@@ -146,35 +256,41 @@ func (s *Sim) Emit(e trace.Event) {
 	}
 }
 
+// thread returns thread tid's state, growing the dense table on first
+// sight. The returned pointer is valid until the next thread call,
+// which may grow the backing slice.
 func (s *Sim) thread(tid int32) *threadState {
-	t, ok := s.threads[tid]
-	if !ok {
-		t = &threadState{
+	for int(tid) >= len(s.threads) {
+		s.threads = append(s.threads, threadState{
 			active: zeroCtx, pending: zeroCtx, epochMax: zeroCtx,
 			activeSrc: -1, pendingSrc: -1, epochMaxSrc: -1,
-		}
-		s.threads[tid] = t
+		})
 	}
-	return t
+	return &s.threads[tid]
 }
 
+// block returns the tracking-block state for id b, which must be at the
+// configured tracking granularity. The returned pointer is valid until
+// the next block or trackingBlocks call, which may grow the table.
 func (s *Sim) block(b memory.BlockID) *blockState {
-	bs, ok := s.blocks[b]
-	if !ok {
-		bs = &blockState{
-			writer: zeroCtx, reader: zeroCtx, lastP: zeroCtx,
-			writerSrc: -1, readerSrc: -1, lastPSrc: -1,
-		}
-		s.blocks[b] = bs
+	if b >= s.trackP.base {
+		return s.trackP.get(b, s.gen)
 	}
-	return bs
+	return s.trackV.get(b, s.gen)
 }
 
-// Feed processes one event in SC order.
+// Feed validates and processes one event in SC order.
 func (s *Sim) Feed(e trace.Event) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
+	return s.feed(e)
+}
+
+// feed processes one already-validated event. MultiSim validates each
+// event once and fans it out here; the dense state indexers rely on
+// Validate's range checks, so unvalidated events must never reach feed.
+func (s *Sim) feed(e trace.Event) error {
 	s.res.Events++
 	switch e.Kind {
 	case trace.Load:
@@ -251,11 +367,19 @@ func (s *Sim) barrier(t *threadState) {
 	t.epochMax, t.epochMaxSrc = zeroCtx, -1
 }
 
-// trackingBlocks iterates the tracking blocks spanned by an access.
+// trackingBlocks iterates the tracking blocks spanned by an access. The
+// whole span lies in one address space (Event.Validate checks the
+// range), and the table is pre-grown over it, so the pointers handed to
+// fn remain valid for the full iteration.
 func (s *Sim) trackingBlocks(e trace.Event, fn func(*blockState)) {
 	first, last := memory.BlockSpan(e.Addr, int(e.Size), s.params.TrackingGranularity)
+	tb := &s.trackV
+	if first >= s.trackP.base {
+		tb = &s.trackP
+	}
+	tb.ensure(int(last - tb.base))
 	for b := first; b <= last; b++ {
-		fn(s.block(b))
+		fn(tb.get(b, s.gen))
 	}
 }
 
@@ -331,12 +455,12 @@ func (s *Sim) persist(e trace.Event) {
 		}
 		dep = merge(dep, c)
 	}
-	var touched []*blockState
+	s.touched = s.touched[:0]
 	s.trackingBlocks(e, func(bs *blockState) {
 		absorb(bs.writer, bs.writerSrc, DepConflict)
 		absorb(bs.reader, bs.readerSrc, DepConflict)
 		absorb(bs.lastP, bs.lastPSrc, DepAtomicity)
-		touched = append(touched, bs)
+		s.touched = append(s.touched, bs)
 	})
 	if depSrc < 0 {
 		depClass = DepNone
@@ -344,11 +468,13 @@ func (s *Sim) persist(e trace.Event) {
 
 	// Place (or coalesce) one persist per spanned atomic block.
 	firstA, lastA := memory.BlockSpan(e.Addr, int(e.Size), s.params.AtomicGranularity)
+	s.atoms.ensure(int(lastA - s.atoms.base))
 	placedCtx := zeroCtx
 	placedSrc := int64(-1)
 	for ab := firstA; ab <= lastA; ab++ {
 		s.res.Persists++
-		open, isOpen := s.atoms[ab]
+		ae := s.atoms.at(ab)
+		open, isOpen := ae.openPersist, ae.gen == s.gen
 		stillBuffered := isOpen &&
 			(s.params.CoalesceWindow == 0 || s.res.Placed-open.seq <= s.params.CoalesceWindow)
 		var lvl, id int64
@@ -371,7 +497,8 @@ func (s *Sim) persist(e trace.Event) {
 			}
 			s.res.Placed++
 			id = s.res.Placed - 1
-			s.atoms[ab] = openPersist{lvl: lvl, seq: s.res.Placed, id: id}
+			ae.openPersist = openPersist{lvl: lvl, seq: s.res.Placed, id: id}
+			ae.gen = s.gen
 			if lvl > s.res.CriticalPath {
 				s.res.CriticalPath = lvl
 			}
@@ -417,39 +544,72 @@ func (s *Sim) persist(e trace.Event) {
 	// new dependence frontier — keeping the context single-sourced,
 	// which maximizes later same-block coalescing (the head-pointer
 	// coalescing the paper notes in §6).
-	for _, bs := range touched {
+	for _, bs := range s.touched {
 		bs.writer, bs.writerSrc = placedCtx, placedSrc
 		bs.reader, bs.readerSrc = zeroCtx, -1
 		bs.lastP, bs.lastPSrc = placedCtx, placedSrc
 	}
 }
 
-// Simulate runs a complete in-memory trace through a fresh simulator.
+// simPool recycles simulators across Simulate calls: sweeps replay the
+// same trace under thousands of parameter combinations, and the dense
+// state tables are the dominant allocation of each run.
+var simPool = sync.Pool{New: func() any { return &Sim{} }}
+
+// AcquireSim returns a pooled simulator reset to p — the streaming
+// equivalent of Simulate for callers that feed events live (via Emit or
+// as a trace.Sink) rather than replaying a stored trace. Pass the
+// simulator to ReleaseSim when its Result has been taken; the caller
+// must not retain it afterwards.
+func AcquireSim(p Params) (*Sim, error) {
+	s := simPool.Get().(*Sim)
+	if err := s.Reset(p); err != nil {
+		simPool.Put(s)
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReleaseSim recycles a simulator obtained from AcquireSim.
+func ReleaseSim(s *Sim) {
+	if s != nil {
+		simPool.Put(s)
+	}
+}
+
+// Simulate runs a complete in-memory trace through a pooled simulator.
 func Simulate(tr *trace.Trace, p Params) (Result, error) {
-	s, err := NewSim(p)
-	if err != nil {
+	s := simPool.Get().(*Sim)
+	defer simPool.Put(s)
+	if err := s.Reset(p); err != nil {
 		return Result{}, err
 	}
-	for _, e := range tr.Events {
-		if err := s.Feed(e); err != nil {
-			return Result{}, err
+	for _, c := range tr.Chunks() {
+		for i := range c {
+			if err := s.Feed(c[i]); err != nil {
+				return Result{}, err
+			}
 		}
 	}
 	return s.Result(), nil
 }
 
 // SimulateAll runs one trace through every model in Models with shared
-// granularity parameters, returning results in Models order.
+// granularity parameters, returning results in Models order. The trace
+// is walked once: each event is decoded and validated a single time and
+// fanned out to all models' simulators (see MultiSim), rather than
+// replaying the trace once per model.
 func SimulateAll(tr *trace.Trace, base Params) ([]Result, error) {
-	out := make([]Result, 0, len(Models))
-	for _, m := range Models {
-		p := base
-		p.Model = m
-		r, err := Simulate(tr, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	ms, err := NewMultiSim(base, Models...)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	for _, c := range tr.Chunks() {
+		for i := range c {
+			if err := ms.Feed(c[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ms.Results(), nil
 }

@@ -262,7 +262,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	for _, e := range tr.Events {
+	for e := range tr.All() {
 		if err := c.Feed(e); err != nil {
 			return Result{}, err
 		}

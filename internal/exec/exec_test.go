@@ -72,7 +72,7 @@ func TestStoreLoadBytes(t *testing.T) {
 	}
 	// Every emitted access must be a power-of-two size ≤ 8 and must not
 	// cross a word boundary misaligned for its size... (sizes 1,2,4,8).
-	for _, e := range tr.Events {
+	for e := range tr.All() {
 		if !e.Kind.IsAccess() {
 			continue
 		}
@@ -97,7 +97,7 @@ func TestCASSemantics(t *testing.T) {
 		t.Fatalf("value = %d", got)
 	}
 	kinds := []trace.Kind{}
-	for _, e := range tr.Events {
+	for e := range tr.All() {
 		if e.Kind.IsAccess() {
 			kinds = append(kinds, e.Kind)
 		}
@@ -158,11 +158,11 @@ func TestRunDeterminism(t *testing.T) {
 		return tr
 	}
 	a, b := run(42), run(42)
-	if !reflect.DeepEqual(a.Events, b.Events) {
+	if !a.Equal(b) {
 		t.Fatal("same seed must reproduce identical traces")
 	}
 	c := run(43)
-	if reflect.DeepEqual(a.Events, c.Events) {
+	if a.Equal(c) {
 		t.Fatal("different seeds should interleave differently")
 	}
 }
@@ -179,10 +179,10 @@ func TestRunInterleaves(t *testing.T) {
 	})
 	// The trace must contain events from both threads, interleaved (not
 	// one thread fully before the other).
-	firstTID := tr.Events[1].TID // skip the setup malloc at index 0
+	firstTID := tr.At(1).TID // skip the setup malloc at index 0
 	switched := false
-	for _, e := range tr.Events[1:] {
-		if e.TID != firstTID {
+	for i := 1; i < tr.Len(); i++ {
+		if tr.At(i).TID != firstTID {
 			switched = true
 			break
 		}

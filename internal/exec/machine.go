@@ -92,8 +92,13 @@ type Machine struct {
 	sink trace.Sink
 	rng  *rand.Rand
 
-	// words stores memory contents keyed by 8-byte-aligned address.
-	words map[memory.Addr]uint64
+	// volWords/perWords store memory contents for the two address
+	// spaces, in demand-allocated pages of word-aligned values. Paged
+	// slices replace a per-word map: workloads touch addresses densely
+	// from each space's base, so pages stay hot while absent pages read
+	// as zero.
+	volWords wordStore
+	perWords wordStore
 
 	// PerHeap and VolHeap allocate from the persistent and volatile
 	// spaces. They are exported for direct inspection; allocation during
@@ -113,6 +118,58 @@ type yieldMsg struct {
 	exited bool
 }
 
+// Paged simulated memory: pages of pageWords 8-byte words, allocated on
+// first store.
+const (
+	pageShift = 12
+	// pageWords is the number of words per page (32 KiB of data).
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+// wordStore holds one address space's contents.
+type wordStore struct {
+	base  memory.Addr
+	pages []*[pageWords]uint64
+}
+
+// load reads the word at the 8-byte-aligned address w; absent pages
+// (and addresses beyond the allocated extent) read as zero, matching
+// the map semantics this replaces — loadRaw's cross-word slow path may
+// probe one word past the end of an access's space.
+func (ws *wordStore) load(w memory.Addr) uint64 {
+	off := uint64(w-ws.base) / memory.WordSize
+	p := off >> pageShift
+	if p >= uint64(len(ws.pages)) || ws.pages[p] == nil {
+		return 0
+	}
+	return ws.pages[p][off&pageMask]
+}
+
+// ptr returns the storage slot for the word at w, allocating its page
+// on demand.
+func (ws *wordStore) ptr(w memory.Addr) *uint64 {
+	off := uint64(w-ws.base) / memory.WordSize
+	p := off >> pageShift
+	for p >= uint64(len(ws.pages)) {
+		ws.pages = append(ws.pages, nil)
+	}
+	if ws.pages[p] == nil {
+		ws.pages[p] = new([pageWords]uint64)
+	}
+	return &ws.pages[p][off&pageMask]
+}
+
+// wordsOf selects the store owning the word at w. Word addresses from
+// the volatile space stay below PersistentBase even after the +8 probe
+// of a cross-word access (the spaces are far apart).
+func (m *Machine) wordsOf(w memory.Addr) *wordStore {
+	if w >= memory.PersistentBase {
+		return &m.perWords
+	}
+	return &m.volWords
+}
+
 // NewMachine creates a machine per cfg.
 func NewMachine(cfg Config) *Machine {
 	if cfg.Threads <= 0 {
@@ -126,13 +183,14 @@ func NewMachine(cfg Config) *Machine {
 		sink = trace.Discard
 	}
 	return &Machine{
-		cfg:     cfg,
-		sink:    sink,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		words:   make(map[memory.Addr]uint64),
-		PerHeap: memory.NewHeap(memory.Persistent),
-		VolHeap: memory.NewHeap(memory.Volatile),
-		yield:   make(chan yieldMsg, cfg.Threads+1),
+		cfg:      cfg,
+		sink:     sink,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		volWords: wordStore{base: memory.VolatileBase},
+		perWords: wordStore{base: memory.PersistentBase},
+		PerHeap:  memory.NewHeap(memory.Persistent),
+		VolHeap:  memory.NewHeap(memory.Volatile),
+		yield:    make(chan yieldMsg, cfg.Threads+1),
 	}
 }
 
@@ -198,9 +256,23 @@ func (m *Machine) schedule() {
 	active := int32(-1)
 	for live > 0 {
 		if active == -1 && len(runnable) > 0 {
-			t := runnable[m.rng.Intn(len(runnable))]
-			active = t.tid
-			t.grant <- m.cfg.Slice
+			var t *Thread
+			if len(runnable) == 1 && m.cfg.Consistency == SC {
+				// Sole runnable thread under SC: every remaining
+				// scheduling draw is Intn(1) (runnable never grows), so
+				// the interleaving is already decided; grant one huge
+				// slice instead of a handoff per quantum. SC consumes
+				// randomness only for these grants (the store-buffer
+				// draws fire only under PSO, where this path is
+				// disabled), so the trace is byte-identical.
+				t = runnable[0]
+				active = t.tid
+				t.grant <- 1 << 30
+			} else {
+				t = runnable[m.rng.Intn(len(runnable))]
+				active = t.tid
+				t.grant <- m.cfg.Slice
+			}
 		}
 		msg := <-m.yield
 		if msg.exited {
@@ -237,12 +309,13 @@ func (m *Machine) loadRaw(a memory.Addr, size int) uint64 {
 		panic("exec: " + err.Error())
 	}
 	w := memory.AlignDown(a, memory.WordSize)
+	ws := m.wordsOf(w)
 	if a == w && size == memory.WordSize {
-		return m.words[w]
+		return ws.load(w)
 	}
 	var buf [2 * memory.WordSize]byte
-	binary.LittleEndian.PutUint64(buf[0:], m.words[w])
-	binary.LittleEndian.PutUint64(buf[8:], m.words[w+memory.WordSize])
+	binary.LittleEndian.PutUint64(buf[0:], ws.load(w))
+	binary.LittleEndian.PutUint64(buf[8:], ws.load(w+memory.WordSize))
 	off := int(a - w)
 	var out [memory.WordSize]byte
 	copy(out[:], buf[off:off+size])
@@ -255,20 +328,23 @@ func (m *Machine) storeRaw(a memory.Addr, size int, v uint64) {
 		panic("exec: " + err.Error())
 	}
 	w := memory.AlignDown(a, memory.WordSize)
+	ws := m.wordsOf(w)
 	if a == w && size == memory.WordSize {
-		m.words[w] = v
+		*ws.ptr(w) = v
 		return
 	}
 	var buf [2 * memory.WordSize]byte
-	binary.LittleEndian.PutUint64(buf[0:], m.words[w])
-	binary.LittleEndian.PutUint64(buf[8:], m.words[w+memory.WordSize])
+	binary.LittleEndian.PutUint64(buf[0:], ws.load(w))
+	binary.LittleEndian.PutUint64(buf[8:], ws.load(w+memory.WordSize))
 	var src [memory.WordSize]byte
 	binary.LittleEndian.PutUint64(src[:], v)
 	off := int(a - w)
 	copy(buf[off:off+size], src[:size])
-	m.words[w] = binary.LittleEndian.Uint64(buf[0:])
+	*ws.ptr(w) = binary.LittleEndian.Uint64(buf[0:])
 	if off+size > memory.WordSize {
-		m.words[w+memory.WordSize] = binary.LittleEndian.Uint64(buf[8:])
+		// CheckRange guarantees the access stays in one space, so the
+		// second word is a valid address of the same store.
+		*ws.ptr(w+memory.WordSize) = binary.LittleEndian.Uint64(buf[8:])
 	}
 }
 
@@ -277,9 +353,15 @@ func (m *Machine) storeRaw(a memory.Addr, size int, v uint64) {
 // states against prefixes of this.
 func (m *Machine) PersistentImage() *memory.Image {
 	im := memory.NewImage()
-	for a, w := range m.words {
-		if memory.IsPersistent(a) && w != 0 {
-			im.WriteWord(a, w)
+	for pi, page := range m.perWords.pages {
+		if page == nil {
+			continue
+		}
+		base := m.perWords.base + memory.Addr(pi*pageWords*memory.WordSize)
+		for si, w := range page {
+			if w != 0 {
+				im.WriteWord(base+memory.Addr(si*memory.WordSize), w)
+			}
 		}
 	}
 	return im

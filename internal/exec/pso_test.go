@@ -71,7 +71,7 @@ func TestPSOReordersStoreVisibility(t *testing.T) {
 			th.Store8(a+8, 2)
 		})
 		var order []uint64
-		for _, e := range tr.Events {
+		for e := range tr.All() {
 			if e.Kind == trace.Store && memory.IsPersistent(e.Addr) {
 				order = append(order, e.Val)
 			}
@@ -99,7 +99,7 @@ func TestPSOFenceOrders(t *testing.T) {
 			th.Store8(a+8, 2)
 		})
 		var order []uint64
-		for _, e := range tr.Events {
+		for e := range tr.All() {
 			if e.Kind == trace.Store && memory.IsPersistent(e.Addr) {
 				order = append(order, e.Val)
 			}
@@ -124,7 +124,7 @@ func TestPSOAtomicsDrain(t *testing.T) {
 	// The RMW must appear after both stores in the trace.
 	rmwSeen := false
 	stores := 0
-	for _, e := range tr.Events {
+	for e := range tr.All() {
 		switch e.Kind {
 		case trace.RMW:
 			rmwSeen = true
@@ -154,7 +154,7 @@ func TestPSOWriteMerging(t *testing.T) {
 	})
 	n := 0
 	var last uint64
-	for _, e := range tr.Events {
+	for e := range tr.All() {
 		if e.Kind == trace.Store && e.Addr == a {
 			n++
 			last = e.Val
@@ -184,7 +184,7 @@ func TestPSODeterminism(t *testing.T) {
 		})
 		return tr
 	}
-	if !reflect.DeepEqual(run().Events, run().Events) {
+	if !run().Equal(run()) {
 		t.Fatal("PSO runs with equal seeds must be identical")
 	}
 }

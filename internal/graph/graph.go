@@ -86,12 +86,40 @@ type Node struct {
 // manually built graphs may contain cycles, which FindCycle exposes.
 type Graph struct {
 	Nodes []*Node
+	// slab is preallocated node storage (see Grow): AddNode takes slots
+	// from it while capacity lasts, so a trace build with a known persist
+	// count performs one node allocation instead of one per persist.
+	slab []Node
+}
+
+// Grow preallocates storage for n additional nodes. Nodes already added
+// are unaffected.
+func (g *Graph) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	g.slab = make([]Node, 0, n)
+	if cap(g.Nodes)-len(g.Nodes) < n {
+		ns := make([]*Node, len(g.Nodes), len(g.Nodes)+n)
+		copy(ns, g.Nodes)
+		g.Nodes = ns
+	}
 }
 
 // AddNode appends a node and returns its id.
 func (g *Graph) AddNode(label string, ev trace.Event) NodeID {
 	id := NodeID(len(g.Nodes))
-	g.Nodes = append(g.Nodes, &Node{ID: id, Label: label, Event: ev})
+	var n *Node
+	if len(g.slab) < cap(g.slab) {
+		// The slab never grows (only Grow replaces it), so taken
+		// pointers stay valid.
+		g.slab = g.slab[:len(g.slab)+1]
+		n = &g.slab[len(g.slab)-1]
+		*n = Node{ID: id, Label: label, Event: ev}
+	} else {
+		n = &Node{ID: id, Label: label, Event: ev}
+	}
+	g.Nodes = append(g.Nodes, n)
 	return id
 }
 
@@ -261,9 +289,22 @@ func Build(tr *trace.Trace, p core.Params) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range tr.Events {
-		if err := b.feed(e); err != nil {
-			return nil, err
+	// Pre-pass: one graph node per persist event, so the node slab can
+	// be sized exactly before building.
+	n := 0
+	for _, c := range tr.Chunks() {
+		for i := range c {
+			if c[i].IsPersist() {
+				n++
+			}
+		}
+	}
+	b.g.Grow(n)
+	for _, c := range tr.Chunks() {
+		for i := range c {
+			if err := b.feed(c[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return b.g, nil
@@ -324,6 +365,9 @@ type builder struct {
 	volc     bool // volatile conflicts
 	threads  map[int32]*gThread
 	blocks   map[memory.BlockID]*gBlock
+	// seen and touched are per-persist scratch, reused across events.
+	seen    []NodeID
+	touched []*gBlock
 }
 
 func newBuilder(p core.Params) (*builder, error) {
@@ -449,14 +493,17 @@ func (b *builder) persist(e trace.Event) {
 	t := b.thread(e.TID)
 	id := b.g.AddNode("", e)
 
-	// O(1)-dedup edge insertion: a node is created once, so a local set
-	// of sources suffices.
-	seen := make(map[NodeID]struct{})
+	// Deduplicated edge insertion: sources accumulate in a reusable
+	// list; in-degrees are small, so a linear scan beats a fresh map
+	// per persist.
+	b.seen = b.seen[:0]
 	addEdge := func(from NodeID, class EdgeClass) {
-		if _, dup := seen[from]; dup {
-			return
+		for _, s := range b.seen {
+			if s == from {
+				return
+			}
 		}
-		seen[from] = struct{}{}
+		b.seen = append(b.seen, from)
 		b.g.addEdgeRaw(from, id, class)
 	}
 
@@ -464,15 +511,15 @@ func (b *builder) persist(e trace.Event) {
 	// for several reasons, the most specific class wins (atomicity,
 	// then conflict, then program order), matching Figure 2's
 	// classification.
-	var touched []*gBlock
+	b.touched = b.touched[:0]
 	b.eachBlock(e, func(bs *gBlock) {
 		// Strong persist atomicity.
 		if bs.lastP >= 0 {
 			addEdge(bs.lastP, Atomicity)
 		}
-		touched = append(touched, bs)
+		b.touched = append(b.touched, bs)
 	})
-	for _, bs := range touched {
+	for _, bs := range b.touched {
 		// Cross-thread (and self) conflict dependences through memory.
 		for from := range bs.writer {
 			addEdge(from, Conflict)
@@ -494,13 +541,13 @@ func (b *builder) persist(e trace.Event) {
 		// Everything this persist directly depends on is now dominated
 		// by it; scrub those nodes from pending rather than adding the
 		// block contexts (they would only produce redundant edges).
-		for from := range seen {
+		for _, from := range b.seen {
 			delete(t.pending, from)
 		}
 	}
 	// The persist has edges from every prior dependence of this block,
 	// so it alone is the block's new dependence frontier.
-	for _, bs := range touched {
+	for _, bs := range b.touched {
 		bs.writer = nodeSet{}.add(id)
 		bs.reader = nil
 		bs.lastP = id

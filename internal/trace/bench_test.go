@@ -56,3 +56,78 @@ func BenchmarkTraceEmit(b *testing.B) {
 		tr.Emit(e)
 	}
 }
+
+// BenchmarkTraceReplay measures a full walk over chunked storage — the
+// loop every simulator replay pays per model (or once, under MultiSim).
+func BenchmarkTraceReplay(b *testing.B) {
+	tr := &Trace{}
+	for i := 0; i < 100000; i++ {
+		tr.Emit(Event{TID: int32(i % 4), Kind: Store, Addr: memory.PersistentBase + memory.Addr(i%4096*8), Size: 8, Val: uint64(i)})
+	}
+	b.SetBytes(int64(tr.Len()) * 30)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, c := range tr.Chunks() {
+			for j := range c {
+				sink += c[j].Val
+			}
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(tr.Len()), "events/op")
+}
+
+// TestTraceReplayAllocs pins replay allocation behavior: walking a
+// trace via Chunks must not allocate at all, and the All iterator may
+// only pay its fixed closure setup.
+func TestTraceReplayAllocs(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 20000; i++ {
+		tr.Emit(Event{TID: int32(i % 2), Kind: Store, Addr: memory.PersistentBase + memory.Addr(i%512*8), Size: 8})
+	}
+	var sink uint64
+	if allocs := testing.AllocsPerRun(10, func() {
+		for _, c := range tr.Chunks() {
+			for j := range c {
+				sink += c[j].Val
+			}
+		}
+	}); allocs != 0 {
+		t.Errorf("Chunks walk allocated %.1f times, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		for e := range tr.All() {
+			sink += e.Val
+		}
+	}); allocs > 4 {
+		t.Errorf("All walk allocated %.1f times, want <= 4 (fixed iterator setup)", allocs)
+	}
+	_ = sink
+}
+
+// TestTraceEmitAllocs pins the amortized emit cost: with the chunk pool
+// warm, building and releasing a trace costs a bounded number of
+// allocations regardless of event count (chunks are recycled).
+func TestTraceEmitAllocs(t *testing.T) {
+	const events = 3 * chunkCap
+	// Warm the chunk pool.
+	warm := &Trace{}
+	for i := 0; i < events; i++ {
+		warm.Emit(Event{Kind: Store, Addr: memory.PersistentBase, Size: 8})
+	}
+	warm.Release()
+	allocs := testing.AllocsPerRun(20, func() {
+		tr := &Trace{}
+		for i := 0; i < events; i++ {
+			tr.Emit(Event{Kind: Store, Addr: memory.PersistentBase, Size: 8})
+		}
+		tr.Release()
+	})
+	// Allowed residue: the Trace itself, the chunks slice headers, and
+	// occasional pool misses under GC; not per-event or per-chunk-body
+	// storage.
+	if allocs > 12 {
+		t.Errorf("emit+release of %d events allocated %.1f times, want <= 12", events, allocs)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/memory"
 )
@@ -138,7 +139,8 @@ func (r *Reader) Next() (Event, error) {
 	return e, nil
 }
 
-// ReadAll decodes an entire stream into a Trace.
+// ReadAll decodes an entire stream into a Trace. Decoded Seq values are
+// preserved as stored.
 func ReadAll(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	rd := NewReader(r)
@@ -150,15 +152,47 @@ func ReadAll(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr.Events = append(tr.Events, e)
+		tr.push(e)
 	}
 }
 
-// WriteAll encodes an entire Trace to w.
+// encBufPool recycles whole-chunk encode buffers so bulk writes neither
+// re-allocate per call nor pay a per-record Write.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, chunkCap*recordSize)
+		return &b
+	},
+}
+
+// WriteAll encodes an entire Trace to w, one pooled buffer write per
+// storage chunk. Seq is reassigned from the record position, matching
+// Writer's streaming behavior.
 func WriteAll(w io.Writer, tr *Trace) error {
-	tw := NewWriter(w)
-	for _, e := range tr.Events {
-		tw.Emit(e)
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return err
 	}
-	return tw.Close()
+	bp := encBufPool.Get().(*[]byte)
+	defer encBufPool.Put(bp)
+	var seq uint64
+	for _, c := range tr.Chunks() {
+		buf := (*bp)[:0]
+		for i := range c {
+			e := &c[i]
+			var rec [recordSize]byte
+			binary.LittleEndian.PutUint64(rec[0:], seq)
+			seq++
+			binary.LittleEndian.PutUint32(rec[8:], uint32(e.TID))
+			rec[12] = byte(e.Kind)
+			rec[13] = e.Size
+			binary.LittleEndian.PutUint64(rec[14:], uint64(e.Addr))
+			binary.LittleEndian.PutUint64(rec[22:], e.Val)
+			buf = append(buf, rec[:]...)
+		}
+		*bp = buf[:0]
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"io"
 	"math/rand"
-	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -45,7 +44,7 @@ func TestCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(tr.Events, got.Events) {
+	if !tr.Equal(got) {
 		t.Fatal("round trip mismatch")
 	}
 }
@@ -106,8 +105,8 @@ func TestWriterAssignsSeq(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Events[0].Seq != 0 || tr.Events[1].Seq != 1 {
-		t.Fatalf("writer did not reassign Seq: %v", tr.Events)
+	if tr.At(0).Seq != 0 || tr.At(1).Seq != 1 {
+		t.Fatalf("writer did not reassign Seq: %v, %v", tr.At(0), tr.At(1))
 	}
 }
 
@@ -133,7 +132,7 @@ func TestCodecProperty(t *testing.T) {
 			return false
 		}
 		e.Seq = 0
-		return tr.Events[0] == e
+		return tr.At(0) == e
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

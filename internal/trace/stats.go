@@ -27,7 +27,7 @@ type Summary struct {
 func Summarize(t *Trace) Summary {
 	s := Summary{ByKind: make(map[Kind]int), Threads: t.Threads(), Total: t.Len()}
 	open := make(map[uint64]bool)
-	for _, e := range t.Events {
+	for e := range t.All() {
 		s.ByKind[e.Kind]++
 		if e.Kind.HasLoadSemantics() {
 			s.Loads++
@@ -90,7 +90,7 @@ func WorkDistances(t *Trace) []int {
 	var distances []int
 	completed := 0
 	lastByThread := make(map[int32]int) // thread -> global completion index of its last work item
-	for _, e := range t.Events {
+	for e := range t.All() {
 		if e.Kind != EndWork {
 			continue
 		}

@@ -12,6 +12,8 @@ package trace
 
 import (
 	"fmt"
+	"iter"
+	"sync"
 
 	"repro/internal/memory"
 )
@@ -176,30 +178,119 @@ type discardSink struct{}
 
 func (discardSink) Emit(Event) {}
 
+// Chunked event storage. Traces routinely hold millions of 32-byte
+// events; a single flat slice pays a reallocation-and-copy tax every
+// time it grows and leaves the allocator with one huge object per
+// trace. Instead events live in fixed-capacity chunks recycled through
+// a sync.Pool, so growth never copies and sweep-style pipelines that
+// build and drop many traces reuse the same memory.
+const (
+	chunkShift = 13
+	// chunkCap is the number of events per chunk (256 KiB of events).
+	chunkCap  = 1 << chunkShift
+	chunkMask = chunkCap - 1
+)
+
+var chunkPool sync.Pool // of []Event with cap chunkCap
+
+func newChunk() []Event {
+	if c, ok := chunkPool.Get().([]Event); ok {
+		return c
+	}
+	return make([]Event, 0, chunkCap)
+}
+
 // Trace is an in-memory event sequence. The zero value is an empty
 // trace ready to use.
+//
+// Storage is chunked (see chunkCap): every chunk except the last holds
+// exactly chunkCap events, which keeps At O(1) and lets hot loops walk
+// Chunks directly.
 type Trace struct {
-	Events []Event
+	chunks [][]Event
+	n      int
+}
+
+// push appends an event without touching its Seq.
+func (t *Trace) push(e Event) {
+	k := len(t.chunks)
+	if k == 0 || len(t.chunks[k-1]) == chunkCap {
+		t.chunks = append(t.chunks, newChunk())
+		k++
+	}
+	t.chunks[k-1] = append(t.chunks[k-1], e)
+	t.n++
 }
 
 // Emit appends an event, assigning its Seq; Trace implements Sink.
 func (t *Trace) Emit(e Event) {
-	e.Seq = uint64(len(t.Events))
-	t.Events = append(t.Events, e)
+	e.Seq = uint64(t.n)
+	t.push(e)
 }
 
 // Len returns the number of events.
-func (t *Trace) Len() int { return len(t.Events) }
+func (t *Trace) Len() int { return t.n }
+
+// At returns the event at position i (which equals its Seq for traces
+// built through Emit).
+func (t *Trace) At(i int) Event {
+	return t.chunks[i>>chunkShift][i&chunkMask]
+}
+
+// All iterates the events in SC order.
+func (t *Trace) All() iter.Seq[Event] {
+	return func(yield func(Event) bool) {
+		for _, c := range t.chunks {
+			for i := range c {
+				if !yield(c[i]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Chunks exposes the underlying storage for hot replay loops: events in
+// order, grouped into contiguous slices. Callers must treat the chunks
+// as read-only; they remain owned by the trace.
+func (t *Trace) Chunks() [][]Event { return t.chunks }
+
+// Release returns the trace's storage to the chunk pool and empties the
+// trace. Only an exclusive owner may call it: any event slice or chunk
+// view previously obtained from the trace becomes invalid.
+func (t *Trace) Release() {
+	for i, c := range t.chunks {
+		chunkPool.Put(c[:0]) //nolint:staticcheck // slice headers are cheap
+		t.chunks[i] = nil
+	}
+	t.chunks = nil
+	t.n = 0
+}
+
+// Equal reports whether two traces hold identical event sequences.
+func (t *Trace) Equal(o *Trace) bool {
+	if t.n != o.n {
+		return false
+	}
+	for i := 0; i < t.n; i++ {
+		if t.At(i) != o.At(i) {
+			return false
+		}
+	}
+	return true
+}
 
 // Validate checks every event and the Seq numbering.
 func (t *Trace) Validate() error {
-	for i, e := range t.Events {
+	i := 0
+	for e := range t.All() {
 		if e.Seq != uint64(i) {
 			return fmt.Errorf("trace: event %d has seq %d", i, e.Seq)
 		}
 		if err := e.Validate(); err != nil {
 			return fmt.Errorf("trace: event %d: %w", i, err)
 		}
+		i++
 	}
 	return nil
 }
@@ -207,7 +298,7 @@ func (t *Trace) Validate() error {
 // Threads returns the number of distinct thread ids (max TID + 1).
 func (t *Trace) Threads() int {
 	max := int32(-1)
-	for _, e := range t.Events {
+	for e := range t.All() {
 		if e.TID > max {
 			max = e.TID
 		}
@@ -218,7 +309,7 @@ func (t *Trace) Threads() int {
 // Filter returns the events satisfying keep, preserving order.
 func (t *Trace) Filter(keep func(Event) bool) []Event {
 	var out []Event
-	for _, e := range t.Events {
+	for e := range t.All() {
 		if keep(e) {
 			out = append(out, e)
 		}
@@ -236,7 +327,7 @@ func (t *Trace) Persists() []Event {
 // positions in the SC order remain recoverable.
 func (t *Trace) SplitByThread() map[int32][]Event {
 	out := make(map[int32][]Event)
-	for _, e := range t.Events {
+	for e := range t.All() {
 		out[e.TID] = append(out[e.TID], e)
 	}
 	return out
@@ -245,15 +336,15 @@ func (t *Trace) SplitByThread() map[int32][]Event {
 // Slice returns the events with Seq in [from, to) as a new Trace with
 // renumbered Seqs — a window for scoped analysis. Bounds are clamped.
 func (t *Trace) Slice(from, to uint64) *Trace {
-	if to > uint64(len(t.Events)) {
-		to = uint64(len(t.Events))
+	if to > uint64(t.n) {
+		to = uint64(t.n)
 	}
 	if from > to {
 		from = to
 	}
 	out := &Trace{}
-	for _, e := range t.Events[from:to] {
-		out.Emit(e)
+	for i := from; i < to; i++ {
+		out.Emit(t.At(int(i)))
 	}
 	return out
 }

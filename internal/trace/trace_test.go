@@ -87,8 +87,8 @@ func TestTraceEmitAssignsSeq(t *testing.T) {
 	tr := &Trace{}
 	tr.Emit(Event{Kind: Load, Addr: pa(0), Size: 8, Seq: 999})
 	tr.Emit(Event{Kind: Store, Addr: pa(8), Size: 8})
-	if tr.Events[0].Seq != 0 || tr.Events[1].Seq != 1 {
-		t.Fatalf("Seq not assigned: %v", tr.Events)
+	if tr.At(0).Seq != 0 || tr.At(1).Seq != 1 {
+		t.Fatalf("Seq not assigned: %v, %v", tr.At(0), tr.At(1))
 	}
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
@@ -142,8 +142,8 @@ func TestSlice(t *testing.T) {
 		tr.Emit(Event{Kind: PersistBarrier, TID: int32(i)})
 	}
 	s := tr.Slice(1, 3)
-	if s.Len() != 2 || s.Events[0].TID != 1 || s.Events[0].Seq != 0 {
-		t.Fatalf("slice = %v", s.Events)
+	if s.Len() != 2 || s.At(0).TID != 1 || s.At(0).Seq != 0 {
+		t.Fatalf("slice = %v, %v", s.At(0), s.At(1))
 	}
 	if tr.Slice(4, 99).Len() != 1 {
 		t.Fatal("clamping to end failed")

@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_core.sh runs the hot-path microbenchmarks (simulator feed,
+# single-pass multi-model walk, trace replay, graph build) and writes
+# BENCH_core.json with ns/op, B/op, and allocs/op per benchmark.
+#
+# Usage: scripts/bench_core.sh [benchtime] > BENCH_core.json
+# benchtime defaults to 100x; CI uses 1x for a smoke pass.
+set -e
+benchtime="${1:-100x}"
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkSimFeed|BenchmarkSimulateAll|BenchmarkTraceReplay|BenchmarkTraceEmit|BenchmarkGraphBuild' \
+    ./internal/core ./internal/trace ./internal/graph |
+awk -v benchtime="$benchtime" '
+BEGIN {
+    printf "{\n  \"suite\": \"core-microbench\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime
+    n = 0
+}
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+'
