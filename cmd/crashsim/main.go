@@ -10,6 +10,8 @@
 //	         [-model strict|epoch|epoch-tso|strand] [-threads N]
 //	         [-inserts N] [-samples N] [-seed S]
 //	         [-break-barrier] [-omit-completion-barrier]
+//	         [-break-commit] [-omit-strand-recipe]
+//	         [-check]
 //	         [-campaign] [-scenarios N] [-faults N] [-parallel N]
 //	         [-replay REPRO]
 //
@@ -18,6 +20,12 @@
 // constraint made executable. The journal workload uses a small ring
 // so checkpoint truncations occur; try it with -policy racing to see
 // the per-algorithm unsafety discussed in EXPERIMENTS.md.
+//
+// With -check the static persistency checker (internal/persistcheck)
+// analyzes the trace instead of sampling crash states: it reports
+// epoch races, unpersisted publications, escaped §5.3 reads, and
+// redundant barriers, each hazard with a replayable repro line. Exit
+// status 2 means hazards were found.
 //
 // With -campaign the sampled crash states are additionally perturbed
 // by injected device faults (torn/dropped persists, transient write
@@ -34,53 +42,23 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/fault"
-	"repro/internal/journal"
-	"repro/internal/memory"
 	"repro/internal/nvram"
 	"repro/internal/observer"
-	"repro/internal/pstm"
-	"repro/internal/queue"
+	"repro/internal/persistcheck"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
-	"repro/internal/trace"
+	"repro/internal/workload"
 )
-
-// options carries everything needed to rebuild a workload — from flags
-// on a fresh run, or from a repro string's parameters on -replay.
-type options struct {
-	workload string
-	design   queue.Design
-	policy   queue.Policy
-	model    core.Model
-	threads  int
-	inserts  int
-	payload  int
-	seed     int64
-	breakBar bool
-	omitComp bool
-
-	designStr, policyStr string
-}
-
-// workloadRun is a traced execution plus its recovery adapters.
-type workloadRun struct {
-	tr       *trace.Trace
-	rec      observer.RecoverFunc        // strict recovery (plain observer)
-	checked  observer.CheckedRecoverFunc // salvage recovery + app invariants (campaigns)
-	describe string
-}
 
 func main() {
 	var (
-		workload   = flag.String("workload", "queue", "queue, journal, or pstm")
+		wl         = flag.String("workload", "queue", "queue, journal, or pstm")
 		designStr  = flag.String("design", "cwl", "cwl or 2lc (queue only)")
 		policyStr  = flag.String("policy", "epoch", "strict|epoch|racing|strand")
 		modelStr   = flag.String("model", "", "persistency model (default: the policy's target model)")
@@ -90,6 +68,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "interleaving + sampling seed")
 		breakBar   = flag.Bool("break-barrier", false, "drop the data→head barrier (negative test)")
 		omitComp   = flag.Bool("omit-completion-barrier", false, "drop 2LC's completion barrier (negative test)")
+		breakCmt   = flag.Bool("break-commit", false, "drop the journal's records→commit barrier (negative test)")
+		omitRcp    = flag.Bool("omit-strand-recipe", false, "drop the journal's §5.3 strand recipe (negative test)")
+		check      = flag.Bool("check", false, "run the static persistency checker instead of sampling crash states")
 		payloadLen = flag.Int("payload", 64, "payload bytes (queue only)")
 		campaign   = flag.Bool("campaign", false, "run a fault-injection campaign (salvage recovery)")
 		scenarios  = flag.Int("scenarios", 1000, "campaign scenarios (cut × fault plan)")
@@ -135,40 +116,38 @@ func main() {
 		os.Exit(replay(*replayStr))
 	}
 
-	design, err := parseDesign(*designStr)
+	design, err := workload.ParseDesign(*designStr)
 	if err != nil {
 		fatal(err)
 	}
-	policy, err := parsePolicy(*policyStr)
+	policy, err := workload.ParsePolicy(*policyStr)
 	if err != nil {
 		fatal(err)
 	}
-	model := bench.ModelFor(policy)
-	if *workload == "pstm" {
-		model = bench.PSTMModelFor(pstmPolicy(policy))
-	}
+	model := workload.ModelForPolicy(*wl, policy)
 	if *modelStr != "" {
-		model, err = parseModel(*modelStr)
+		model, err = workload.ParseModel(*modelStr)
 		if err != nil {
 			fatal(err)
 		}
 	}
 
-	opts := options{
-		workload: *workload, design: design, policy: policy, model: model,
-		threads: *threads, inserts: *inserts, payload: *payloadLen, seed: *seed,
-		breakBar: *breakBar, omitComp: *omitComp,
-		designStr: *designStr, policyStr: *policyStr,
+	opts := workload.Options{
+		Workload: *wl, Design: design, Policy: policy, Model: model,
+		Threads: *threads, Inserts: *inserts, Payload: *payloadLen, Seed: *seed,
+		BreakBar: *breakBar, OmitComp: *omitComp,
+		BreakCommit: *breakCmt, OmitRecipe: *omitRcp,
+		DesignStr: *designStr, PolicyStr: *policyStr,
 	}
 	var cache *bench.TraceCache
 	if *traceCache > 0 {
 		cache = bench.NewTraceCache(*traceCache)
 	}
-	run, err := build(opts, cache)
+	run, err := workload.Build(opts, cache)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("workload : %s\n", run.describe)
+	fmt.Printf("workload : %s\n", run.Describe)
 	fmt.Printf("model    : %v\n", model)
 	if cache != nil {
 		s := cache.Stats()
@@ -176,15 +155,39 @@ func main() {
 			s.Hits, s.Misses, 100*s.ReplayRate(), s.EventsReplayed+s.EventsGenerated)
 	}
 
+	if *check {
+		rep, err := persistcheck.Check(run.Trace, core.Params{Model: model}, run.Checks, persistcheck.Config{
+			ReproParams: opts.Params(),
+			SiteLabel:   run.SiteLabel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		if *metricsOut != "" {
+			reg := telemetry.NewRegistry()
+			persistcheck.Observe(reg, rep)
+			if merr := writeMetrics(reg, *metricsOut); merr != nil {
+				fatal(merr)
+			}
+		}
+		if rep.Hazards() > 0 {
+			fmt.Printf("verdict  : %d persistency hazard(s) found\n", rep.Hazards())
+			os.Exit(2)
+		}
+		fmt.Println("verdict  : no persistency hazards found")
+		return
+	}
+
 	if *campaign {
 		reg := telemetry.NewRegistry()
-		wlabel := run.describe
+		wlabel := run.Describe
 		stop := reg.Timer(telemetry.Label("crashsim_campaign", "workload", wlabel)).Time()
-		out, err := observer.Campaign(run.tr, core.Params{Model: model}, run.checked, observer.CampaignConfig{
+		out, err := observer.Campaign(run.Trace, core.Params{Model: model}, run.Checked, observer.CampaignConfig{
 			Scenarios: *scenarios,
 			Seed:      *seed,
 			Gen:       fault.GenConfig{MaxFaults: *faults},
-			Params:    opts.params(),
+			Params:    opts.Params(),
 			Device:    campaignDevice(),
 			Sweep:     sweep.Config{Parallel: *parallel, Registry: reg},
 			// Live progress: update the registry's campaign gauges and
@@ -226,7 +229,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	out, err := observer.CrashTest(run.tr, core.Params{Model: model}, run.rec, observer.Config{Samples: *samples, Seed: *seed, Sweep: sweep.Config{Parallel: *parallel}})
+	out, err := observer.CrashTest(run.Trace, core.Params{Model: model}, run.Recover, observer.Config{Samples: *samples, Seed: *seed, Sweep: sweep.Config{Parallel: *parallel}})
 	if err != nil {
 		fatal(err)
 	}
@@ -284,28 +287,6 @@ func campaignDevice() nvram.Config {
 	return nvram.Config{Latency: 100 * time.Nanosecond, RetryBackoff: 50 * time.Nanosecond}
 }
 
-// params serializes the workload options into repro-string parameters,
-// sufficient for replay to rebuild the identical trace.
-func (o options) params() []fault.Param {
-	ps := []fault.Param{
-		{Key: "workload", Value: o.workload},
-		{Key: "design", Value: o.designStr},
-		{Key: "policy", Value: o.policyStr},
-		{Key: "model", Value: o.model.String()},
-		{Key: "threads", Value: strconv.Itoa(o.threads)},
-		{Key: "inserts", Value: strconv.Itoa(o.inserts)},
-		{Key: "payload", Value: strconv.Itoa(o.payload)},
-		{Key: "seed", Value: strconv.FormatInt(o.seed, 10)},
-	}
-	if o.breakBar {
-		ps = append(ps, fault.Param{Key: "break-barrier", Value: "1"})
-	}
-	if o.omitComp {
-		ps = append(ps, fault.Param{Key: "omit-completion-barrier", Value: "1"})
-	}
-	return ps
-}
-
 // replay parses a repro string, rebuilds the recorded workload, and
 // re-runs the recorded scenario. Exit status 2 means the corruption
 // reproduced.
@@ -314,49 +295,17 @@ func replay(line string) int {
 	if err != nil {
 		fatal(err)
 	}
-	get := func(key, dflt string) string {
-		if v, ok := s.Param(key); ok {
-			return v
-		}
-		return dflt
-	}
-	atoi := func(key, dflt string) int {
-		v, err := strconv.Atoi(get(key, dflt))
-		if err != nil {
-			fatal(fmt.Errorf("repro param %s: %v", key, err))
-		}
-		return v
-	}
-	design, err := parseDesign(get("design", "cwl"))
+	opts, err := workload.FromScenario(s)
 	if err != nil {
 		fatal(err)
 	}
-	policy, err := parsePolicy(get("policy", "epoch"))
+	run, err := workload.Build(opts, nil)
 	if err != nil {
 		fatal(err)
 	}
-	model, err := parseModel(get("model", "epoch"))
-	if err != nil {
-		fatal(err)
-	}
-	seed, err := strconv.ParseInt(get("seed", "1"), 10, 64)
-	if err != nil {
-		fatal(err)
-	}
-	opts := options{
-		workload: get("workload", "queue"), design: design, policy: policy, model: model,
-		threads: atoi("threads", "2"), inserts: atoi("inserts", "16"), payload: atoi("payload", "64"),
-		seed:     seed,
-		breakBar: get("break-barrier", "") == "1",
-		omitComp: get("omit-completion-barrier", "") == "1",
-	}
-	run, err := build(opts, nil)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("workload : %s\n", run.describe)
+	fmt.Printf("workload : %s\n", run.Describe)
 	fmt.Printf("scenario : cut %d nodes, plan [%s]\n", s.Cut.Size(), s.Plan.String())
-	class, rerr := observer.Replay(run.tr, core.Params{Model: opts.model}, run.checked, s, campaignDevice())
+	class, rerr := observer.Replay(run.Trace, core.Params{Model: opts.Model}, run.Checked, s, campaignDevice())
 	if rerr != nil && class == observer.Masked {
 		// classify never produces Masked with an error; this is an
 		// infrastructure failure (graph build or cut/workload mismatch).
@@ -369,270 +318,6 @@ func replay(line string) int {
 	}
 	fmt.Println("verdict  : scenario handled (masked/salvaged/detected)")
 	return 0
-}
-
-// build traces one workload run and wires up both recovery adapters. A
-// non-nil cache memoizes the traced execution keyed by the full option
-// set; on a hit only the (deterministic, cheap) setup pass re-runs to
-// rebuild the recovery adapters, and the cached trace is adopted.
-func build(o options, cache *bench.TraceCache) (*workloadRun, error) {
-	if cache == nil {
-		tr := &trace.Trace{}
-		m := exec.NewMachine(exec.Config{Threads: o.threads, Seed: o.seed, Sink: tr})
-		run, body, err := setup(o, m)
-		if err != nil {
-			return nil, err
-		}
-		m.Run(body)
-		run.tr = tr
-		return run, nil
-	}
-	tr, err := cache.Do(o, func() (*trace.Trace, error) {
-		run, err := build(o, nil)
-		if err != nil {
-			return nil, err
-		}
-		return run.tr, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	m := exec.NewMachine(exec.Config{Threads: o.threads, Seed: o.seed, Sink: trace.Discard})
-	run, _, err := setup(o, m)
-	if err != nil {
-		return nil, err
-	}
-	run.tr = tr
-	return run, nil
-}
-
-// setup constructs the workload's persistent structures on m (emitting
-// their allocation/initialization events into m's sink) and returns the
-// recovery adapters plus the per-thread body — everything build needs,
-// without executing the threads.
-func setup(o options, m *exec.Machine) (*workloadRun, func(*exec.Thread), error) {
-	s := m.SetupThread()
-	run := &workloadRun{}
-	var body func(*exec.Thread)
-	switch o.workload {
-	case "queue":
-		q, err := queue.New(s, queue.Config{
-			DataBytes:             dataBytes(o.inserts, o.payload),
-			Design:                o.design,
-			Policy:                o.policy,
-			MaxThreads:            o.threads,
-			BreakDataHeadOrder:    o.breakBar,
-			OmitCompletionBarrier: o.omitComp,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		meta := q.Meta()
-		per := o.inserts / o.threads
-		// Precomputed outside m.Run: simulated threads are goroutines,
-		// and a shared map write inside them is a host-level data race.
-		expect := make(map[string]bool)
-		for tid := 0; tid < o.threads; tid++ {
-			for i := 0; i < per; i++ {
-				expect[string(queue.MakePayload(uint64(tid)<<32|uint64(i), o.payload))] = true
-			}
-		}
-		body = func(t *exec.Thread) {
-			for i := 0; i < per; i++ {
-				q.Insert(t, queue.MakePayload(uint64(t.TID())<<32|uint64(i), o.payload))
-			}
-		}
-		run.rec = func(im *memory.Image) error {
-			_, err := queue.Recover(im, meta)
-			return err
-		}
-		run.checked = func(im *memory.Image) (fault.RecoveryReport, error) {
-			entries, rep, err := queue.RecoverSalvage(im, meta)
-			if err != nil {
-				return rep, err
-			}
-			return rep, checkQueueEntries(entries, expect)
-		}
-		run.describe = fmt.Sprintf("%v queue, %v annotations, %d threads, %d inserts", o.design, o.policy, o.threads, per*o.threads)
-	case "journal":
-		jpol, err := journalPolicy(o.policy)
-		if err != nil {
-			return nil, nil, err
-		}
-		st, err := journal.New(s, journal.Config{
-			Blocks:       2 * o.threads,
-			JournalBytes: 1 << 11, // small ring: checkpoints occur
-			Policy:       jpol,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		meta := st.Meta()
-		per := o.inserts / o.threads
-		body = func(t *exec.Thread) {
-			g := t.TID()
-			for i := 0; i < per; i++ {
-				tag := uint64(t.TID()*100000 + i + 1)
-				st.Update(t, []journal.Write{
-					{Block: 2 * g, Data: journal.MakeBlock(tag)},
-					{Block: 2*g + 1, Data: journal.MakeBlock(tag)},
-				})
-			}
-		}
-		run.rec = func(im *memory.Image) error {
-			state, err := journal.Recover(im, meta)
-			if err != nil {
-				return err
-			}
-			return checkJournalPairs(state, o.threads)
-		}
-		run.checked = func(im *memory.Image) (fault.RecoveryReport, error) {
-			state, rep, err := journal.RecoverSalvage(im, meta)
-			if err != nil {
-				return rep, err
-			}
-			return rep, checkJournalPairs(state, o.threads)
-		}
-		run.describe = fmt.Sprintf("journal, %v annotations, %d threads, %d txns", o.policy, o.threads, per*o.threads)
-	case "pstm":
-		ppol := pstmPolicy(o.policy)
-		h, err := pstm.New(s, pstm.Config{Words: 2 * o.threads, UndoCap: 8, Policy: ppol})
-		if err != nil {
-			return nil, nil, err
-		}
-		meta := h.Meta()
-		per := o.inserts / o.threads
-		body = func(t *exec.Thread) {
-			g := t.TID()
-			for i := 0; i < per; i++ {
-				v := uint64(t.TID()*100000 + i + 1)
-				h.Atomic(t, func(tx *pstm.Tx) {
-					tx.Store(2*g, v)
-					tx.Store(2*g+1, v)
-				})
-			}
-		}
-		run.rec = func(im *memory.Image) error {
-			state, err := pstm.Recover(im, meta)
-			if err != nil {
-				return err
-			}
-			return checkPSTMPairs(state, o.threads)
-		}
-		run.checked = func(im *memory.Image) (fault.RecoveryReport, error) {
-			state, rep, err := pstm.RecoverSalvage(im, meta)
-			if err != nil {
-				return rep, err
-			}
-			return rep, checkPSTMPairs(state, o.threads)
-		}
-		run.describe = fmt.Sprintf("pstm heap, %v annotations, %d threads, %d txns", ppol, o.threads, per*o.threads)
-	default:
-		return nil, nil, fmt.Errorf("unknown workload %q", o.workload)
-	}
-	return run, body, nil
-}
-
-// checkQueueEntries validates recovered entries against the insert set:
-// in offset order and carrying only payloads that were really inserted.
-func checkQueueEntries(entries []queue.Entry, expect map[string]bool) error {
-	var lastOff uint64
-	for i, e := range entries {
-		if !expect[string(e.Payload)] {
-			return fmt.Errorf("entry %d carries a payload never inserted", i)
-		}
-		if i > 0 && e.Offset <= lastOff {
-			return fmt.Errorf("entry %d out of order", i)
-		}
-		lastOff = e.Offset
-	}
-	return nil
-}
-
-// checkJournalPairs validates the journal app invariant: each thread's
-// block pair was updated atomically, so tags match and blocks are
-// intact.
-func checkJournalPairs(state *journal.State, threads int) error {
-	for g := 0; g < threads; g++ {
-		t0, ok0 := journal.BlockTag(state.Block(2 * g))
-		t1, ok1 := journal.BlockTag(state.Block(2*g + 1))
-		if !ok0 || !ok1 || t0 != t1 {
-			return fmt.Errorf("group %d torn (tags %d/%d intact %v/%v)", g, t0, t1, ok0, ok1)
-		}
-	}
-	return nil
-}
-
-// checkPSTMPairs validates the pstm app invariant: transactions store
-// the same value to both words of a pair, so recovered pairs match.
-func checkPSTMPairs(state *pstm.State, threads int) error {
-	for g := 0; g < threads; g++ {
-		if a, b := state.Words[2*g], state.Words[2*g+1]; a != b {
-			return fmt.Errorf("pair %d torn (%d != %d)", g, a, b)
-		}
-	}
-	return nil
-}
-
-func dataBytes(inserts, payload int) uint64 {
-	n := uint64(inserts+2) * queue.SlotBytes(payload)
-	return n + queue.SlotAlign
-}
-
-func parseDesign(s string) (queue.Design, error) {
-	switch s {
-	case "cwl":
-		return queue.CWL, nil
-	case "2lc":
-		return queue.TwoLock, nil
-	default:
-		return 0, fmt.Errorf("unknown design %q", s)
-	}
-}
-
-func parsePolicy(s string) (queue.Policy, error) {
-	switch s {
-	case "strict":
-		return queue.PolicyStrict, nil
-	case "epoch":
-		return queue.PolicyEpoch, nil
-	case "racing":
-		return queue.PolicyRacingEpoch, nil
-	case "strand":
-		return queue.PolicyStrand, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q", s)
-	}
-}
-
-func journalPolicy(p queue.Policy) (journal.Policy, error) {
-	switch p {
-	case queue.PolicyStrict:
-		return journal.PolicyStrict, nil
-	case queue.PolicyEpoch:
-		return journal.PolicyEpoch, nil
-	case queue.PolicyRacingEpoch:
-		return journal.PolicyRacingEpoch, nil
-	case queue.PolicyStrand:
-		return journal.PolicyStrand, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %v", p)
-	}
-}
-
-// pstmPolicy maps the shared -policy flag onto pstm's policy space
-// (the enums are parallel).
-func pstmPolicy(p queue.Policy) pstm.Policy {
-	return pstm.Policy(p)
-}
-
-func parseModel(s string) (core.Model, error) {
-	for _, m := range core.Models {
-		if m.String() == s {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown model %q", s)
 }
 
 func fatal(err error) {

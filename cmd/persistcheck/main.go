@@ -1,0 +1,147 @@
+// Command persistcheck statically analyzes a recorded workload
+// execution for persistency hazards — without running the crash
+// simulator. It traces the selected workload, builds the persist-order
+// constraint graph under the selected model, and runs the four
+// analyses from internal/persistcheck:
+//
+//   - epoch races: conflicting persists to the same block unordered
+//     under the model but ordered under sequential consistency
+//   - unpersisted publications: recovery-critical metadata (queue
+//     head, journal commit record, PSTM seal) persisted without an
+//     ordering path from the data it publishes
+//   - unbound reads: §5.3's read-then-barrier contract violated — a
+//     strand's persists not ordered after state the thread observed
+//   - redundant barriers: annotations inducing no new constraint-graph
+//     edge (pure persist-latency cost, reported with the telemetry
+//     attribution site)
+//
+// Usage:
+//
+//	persistcheck [-workload queue|journal|pstm] [-design cwl|2lc]
+//	             [-policy strict|epoch|racing|strand]
+//	             [-model strict|epoch|epoch-tso|strand] [-all-models]
+//	             [-threads N] [-inserts N] [-payload N] [-seed S]
+//	             [-break-barrier] [-omit-completion-barrier]
+//	             [-break-commit] [-omit-strand-recipe]
+//	             [-limit N] [-metrics-out FILE]
+//
+// Without -model the checker uses the policy's natural target model
+// (the Table 1 column pairing); -all-models checks every model in one
+// run. Hazard findings carry a one-line repro in the fault-campaign
+// format: paste it into `crashsim -replay` (campaign hazards) or rerun
+// crashsim with the printed parameters to watch the observer reach the
+// divergent recovery state. Exit status 2 means hazards were found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/persistcheck"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl         = flag.String("workload", "queue", "queue, journal, or pstm")
+		designStr  = flag.String("design", "cwl", "cwl or 2lc (queue only)")
+		policyStr  = flag.String("policy", "epoch", "strict|epoch|racing|strand")
+		modelStr   = flag.String("model", "", "persistency model (default: the policy's target model)")
+		allModels  = flag.Bool("all-models", false, "check under every persistency model")
+		threads    = flag.Int("threads", 2, "simulated threads")
+		inserts    = flag.Int("inserts", 16, "total inserts/transactions")
+		payloadLen = flag.Int("payload", 64, "payload bytes (queue only)")
+		seed       = flag.Int64("seed", 1, "interleaving seed")
+		breakBar   = flag.Bool("break-barrier", false, "drop the data→head barrier (negative test)")
+		omitComp   = flag.Bool("omit-completion-barrier", false, "drop 2LC's completion barrier (negative test)")
+		breakCmt   = flag.Bool("break-commit", false, "drop the journal's records→commit barrier (negative test)")
+		omitRcp    = flag.Bool("omit-strand-recipe", false, "drop the journal's §5.3 strand recipe (negative test)")
+		limit      = flag.Int("limit", 0, "max stored findings per kind (0 = default)")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
+	)
+	flag.Parse()
+
+	design, err := workload.ParseDesign(*designStr)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := workload.ParsePolicy(*policyStr)
+	if err != nil {
+		fatal(err)
+	}
+	models := []core.Model{workload.ModelForPolicy(*wl, policy)}
+	switch {
+	case *allModels:
+		models = core.Models
+	case *modelStr != "":
+		m, err := workload.ParseModel(*modelStr)
+		if err != nil {
+			fatal(err)
+		}
+		models = []core.Model{m}
+	}
+
+	reg := telemetry.NewRegistry()
+	hazards := 0
+	for i, model := range models {
+		opts := workload.Options{
+			Workload: *wl, Design: design, Policy: policy, Model: model,
+			Threads: *threads, Inserts: *inserts, Payload: *payloadLen, Seed: *seed,
+			BreakBar: *breakBar, OmitComp: *omitComp,
+			BreakCommit: *breakCmt, OmitRecipe: *omitRcp,
+			DesignStr: *designStr, PolicyStr: *policyStr,
+		}
+		run, err := workload.Build(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("workload : %s\n", run.Describe)
+		}
+		fmt.Printf("model    : %v\n", model)
+		rep, err := persistcheck.Check(run.Trace, core.Params{Model: model}, run.Checks, persistcheck.Config{
+			Limit:       *limit,
+			ReproParams: opts.Params(),
+			SiteLabel:   run.SiteLabel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		persistcheck.Observe(reg, rep)
+		hazards += rep.Hazards()
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if hazards > 0 {
+		fmt.Printf("verdict  : %d persistency hazard(s) found\n", hazards)
+		os.Exit(2)
+	}
+	fmt.Println("verdict  : no persistency hazards found")
+}
+
+// writeMetrics snapshots the registry: Prometheus text for .prom/.txt
+// paths, JSON otherwise.
+func writeMetrics(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
+		return reg.WritePrometheus(f)
+	}
+	return reg.WriteJSON(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "persistcheck:", err)
+	os.Exit(1)
+}

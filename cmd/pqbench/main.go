@@ -30,10 +30,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/nvram"
+	"repro/internal/persistcheck"
 	"repro/internal/queue"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -54,6 +56,7 @@ func main() {
 		traceCache = flag.Int("trace-cache", bench.DefaultCacheEntries, "workload trace cache capacity in traces; 0 disables (re-execute every workload)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		check      = flag.Bool("check", false, "run the persistency checker over the benchmark queue configurations and exit (status 2 on hazards)")
 	)
 	flag.Parse()
 
@@ -85,6 +88,23 @@ func main() {
 	threads, err := parseInts(*threadsStr)
 	if err != nil {
 		fatal(err)
+	}
+	if *check {
+		hazards, err := checkPass(reg, threads, *inserts, *payload, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *metricsOut != "" {
+			if err := writeMetrics(reg, *metricsOut); err != nil {
+				fatal(err)
+			}
+		}
+		if hazards > 0 {
+			fmt.Printf("verdict  : %d persistency hazard(s) found\n", hazards)
+			os.Exit(2)
+		}
+		fmt.Println("verdict  : no persistency hazards found")
+		return
 	}
 	run := func(name string, fn func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -430,6 +450,51 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// checkPass statically checks the queue configurations the benchmarks
+// exercise: each design × annotation policy under the policy's target
+// model, at every benchmarked thread count. A clean benchmark matrix
+// should produce zero hazards; a hazard means the measured numbers
+// belong to an incorrectly ordered structure. Checker aggregates land
+// in the shared metrics registry.
+func checkPass(reg *telemetry.Registry, threads []int, inserts, payload int, seed int64) (int, error) {
+	hazards := 0
+	for _, design := range []string{"cwl", "2lc"} {
+		for _, policy := range []string{"strict", "epoch", "strand"} {
+			for _, th := range threads {
+				d, err := workload.ParseDesign(design)
+				if err != nil {
+					return 0, err
+				}
+				p, err := workload.ParsePolicy(policy)
+				if err != nil {
+					return 0, err
+				}
+				o := workload.Options{
+					Workload: "queue", Design: d, Policy: p,
+					Model:   workload.ModelForPolicy("queue", p),
+					Threads: th, Inserts: min(inserts, 64*th), Payload: payload, Seed: seed,
+					DesignStr: design, PolicyStr: policy,
+				}
+				run, err := workload.Build(o, nil)
+				if err != nil {
+					return 0, err
+				}
+				rep, err := persistcheck.Check(run.Trace, core.Params{Model: o.Model}, run.Checks, persistcheck.Config{
+					ReproParams: o.Params(),
+					SiteLabel:   run.SiteLabel,
+				})
+				if err != nil {
+					return 0, err
+				}
+				fmt.Printf("--- %s/%s, %d threads, model %s ---\n%s", design, policy, th, o.Model, rep)
+				persistcheck.Observe(reg, rep)
+				hazards += rep.Hazards()
+			}
+		}
+	}
+	return hazards, nil
 }
 
 // tracePass re-runs a small instance of each queue configuration with

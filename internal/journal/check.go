@@ -1,0 +1,65 @@
+package journal
+
+import (
+	"repro/internal/memory"
+	"repro/internal/persistcheck"
+)
+
+// Checks declares the store's recovery-critical metadata for the
+// persistency checker (internal/persistcheck).
+//
+// CommittedHead publishes by value: recovery redoes journal records in
+// [checkpoint, committed-head), so a persisted commit value v covers
+// every record persist below ring offset v — which is why stage 1's
+// records must be bound before the stage 2 commit persist (the barrier
+// Config.BreakRecordCommitOrder removes).
+//
+// The checkpoint is a cross-thread (AllThreads) publication over the
+// table: truncating retires redo records, so the truncation persist
+// must be ordered after every in-place apply those records would have
+// redone — including other threads' (the barriers around the lock
+// provide the ordering, which is why the racing-epochs discipline is
+// unsafe for this structure). The checkpoint word is also the §5.3
+// OrderAfter region: a transaction's records overwrite ring slots the
+// truncation retired, so its persists must stay ordered after the
+// checkpoint persist the thread observed (the strand recipe
+// Config.OmitStrandRecipe removes).
+func (m Meta) Checks() persistcheck.Annotations {
+	return persistcheck.Annotations{
+		Pubs: []persistcheck.Publication{{
+			Name:        "committed-head",
+			Word:        m.CommittedHead,
+			Data:        []persistcheck.Extent{{Addr: m.Journal, Size: m.JournalBytes}},
+			ValueCovers: true,
+		}, {
+			Name:       "checkpoint",
+			Word:       m.Checkpoint,
+			Data:       []persistcheck.Extent{{Addr: m.Table, Size: uint64(m.Blocks) * BlockBytes}},
+			AllThreads: true,
+		}},
+		OrderAfter: []persistcheck.Region{{
+			Name: "checkpoint",
+			Addr: m.Checkpoint,
+			Size: 8,
+		}},
+	}
+}
+
+// SiteLabel maps persist addresses to the store's annotation sites,
+// following the telemetry attribution convention.
+func (m Meta) SiteLabel() func(memory.Addr) string {
+	return func(a memory.Addr) string {
+		switch {
+		case a >= m.Table && a < m.Table+memory.Addr(m.Blocks*BlockBytes):
+			return "table"
+		case a >= m.Journal && a < m.Journal+memory.Addr(m.JournalBytes):
+			return "journal"
+		case a >= m.CommittedHead && a < m.CommittedHead+8:
+			return "committed-head"
+		case a >= m.Checkpoint && a < m.Checkpoint+8:
+			return "checkpoint"
+		default:
+			return "other"
+		}
+	}
+}

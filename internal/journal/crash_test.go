@@ -109,6 +109,48 @@ func TestRacingEpochsUnsafeAdversarially(t *testing.T) {
 	}
 }
 
+func TestBrokenRecordCommitOrderIsLoadBearing(t *testing.T) {
+	// The records→commit barrier (stage 1 → stage 2) is the journal's
+	// publication ordering: with BreakRecordCommitOrder the commit can
+	// persist before the redo records it covers, and recovery redoes
+	// garbage. The observer must reach a corrupt state — the fixture the
+	// persistency checker flags statically.
+	found := false
+	for seed := int64(0); seed < 8 && !found; seed++ {
+		cfg := Config{Blocks: 2 * 3, JournalBytes: 1 << 11, Policy: PolicyEpoch, BreakRecordCommitOrder: true}
+		tr, rec := traceJournal(t, cfg, 3, 6, seed)
+		corr, err := observer.FindCorruption(tr, core.Params{Model: core.Epoch}, rec, observer.Config{Samples: 500, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = corr != nil
+	}
+	if !found {
+		t.Fatal("broken record→commit order never corrupted")
+	}
+}
+
+func TestOmitStrandRecipeIsLoadBearing(t *testing.T) {
+	// The §5.3 strand recipe (read the checkpoint, then barrier) binds a
+	// new strand's record persists after the truncation they overwrite;
+	// without it a crash can persist records into ring space the
+	// checkpoint still covers. The observer must reach a corrupt state —
+	// the fixture the checker's escape analysis flags.
+	found := false
+	for seed := int64(0); seed < 8 && !found; seed++ {
+		cfg := Config{Blocks: 2 * 3, JournalBytes: 1 << 11, Policy: PolicyStrand, OmitStrandRecipe: true}
+		tr, rec := traceJournal(t, cfg, 3, 6, seed)
+		corr, err := observer.FindCorruption(tr, core.Params{Model: core.Strand}, rec, observer.Config{Samples: 500, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = corr != nil
+	}
+	if !found {
+		t.Fatal("omitted strand recipe never corrupted")
+	}
+}
+
 func TestAdversarialCleanJournal(t *testing.T) {
 	// The correctly annotated journal survives the deterministic sweep
 	// under each target model, with checkpoint pressure.

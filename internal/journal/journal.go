@@ -94,6 +94,17 @@ type Config struct {
 	JournalBytes uint64
 	// Policy selects annotations.
 	Policy Policy
+	// BreakRecordCommitOrder omits the barrier between the redo records
+	// and the commit persist (stage 1 → stage 2). For negative testing
+	// only: under relaxed persistency the commit record can then persist
+	// before its payload, so recovery redoes garbage.
+	BreakRecordCommitOrder bool
+	// OmitStrandRecipe omits §5.3's read-then-barrier recipe after
+	// NewStrand under PolicyStrand. For negative testing only: the
+	// transaction's persists are then unordered after the checkpoint
+	// truncation the thread observed, so a crash can expose a stale
+	// checkpoint alongside newer ring contents.
+	OmitStrandRecipe bool
 }
 
 // Meta locates the Store's persistent structures for recovery.
@@ -229,22 +240,26 @@ func (st *Store) Update(t *exec.Thread, writes []Write) uint64 {
 
 	if st.cfg.Policy == PolicyStrand {
 		t.NewStrand()
-		// §5.3's recipe: "a persist strand begins by reading persisted
-		// memory locations after which new persists must be ordered",
-		// followed by a persist barrier. Every persist of this
-		// transaction — the records overwrite freed ring slots, and the
-		// commit word widens the live window — must follow the latest
-		// checkpoint truncation, or a crash can expose a stale
-		// checkpoint alongside newer ring contents.
-		t.Load8(st.meta.Checkpoint)
-		t.PersistBarrier()
+		if !st.cfg.OmitStrandRecipe {
+			// §5.3's recipe: "a persist strand begins by reading persisted
+			// memory locations after which new persists must be ordered",
+			// followed by a persist barrier. Every persist of this
+			// transaction — the records overwrite freed ring slots, and the
+			// commit word widens the live window — must follow the latest
+			// checkpoint truncation, or a crash can expose a stale
+			// checkpoint alongside newer ring contents.
+			t.Load8(st.meta.Checkpoint)
+			t.PersistBarrier()
+		}
 	}
 
 	// Stage 1: redo records (concurrent persists within the epoch).
 	for _, w := range writes {
 		head = st.appendRecord(t, head, txn, uint64(w.Block), w.Data)
 	}
-	st.barrierStage(t) // records before commit
+	if !st.cfg.BreakRecordCommitOrder {
+		st.barrierStage(t) // records before commit
+	}
 
 	// Stage 2: commit — a single word; strong persist atomicity
 	// serializes commits under every model.

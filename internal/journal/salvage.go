@@ -7,7 +7,7 @@ import (
 	"repro/internal/memory"
 )
 
-// Salvage recovery: the fault-tolerant counterpart of Recover.
+// RecoverSalvage is the fault-tolerant counterpart of Recover.
 //
 // Recover fails on the first invalid record below CommittedHead — the
 // right contract when crash states are clean cuts and any invalid

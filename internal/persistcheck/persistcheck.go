@@ -1,0 +1,199 @@
+// Package persistcheck is a static (trace-level) persistency checker:
+// it consumes a recorded SC trace plus the persist-order constraint
+// graph for a persistency model and reports persistency hazards without
+// running the crash simulator.
+//
+// The paper's central observation is that relaxed persistency models
+// admit crash states that sequentially consistent execution order never
+// exhibits — bugs invisible to ordinary testing, reachable only through
+// the recovery observer (§4). Sampling crash states (internal/observer)
+// finds such bugs probabilistically; persistcheck instead analyzes the
+// ordering semantics directly, in the spirit of dedicated persistency
+// checkers (Ben-David et al.'s survey of persistent-memory correctness
+// conditions; Klimis et al.'s "Lost in Interpretation"). Four analyses
+// run over one graph build:
+//
+//   - epoch-race detection (§5.2): a vector-clock persist-happens-before
+//     pass over persist epochs that flags conflicting epochs whose
+//     persists are left mutually unordered under the model although the
+//     SC trace orders them — the exact divergence the recovery observer
+//     exploits. Every reported race carries a concrete witness pair and
+//     the divergent consistent cut that exhibits it.
+//   - unpersisted-publication lint: a persist to recovery-critical
+//     metadata (queue head, journal commit record, PSTM seal — declared
+//     through the Annotations API) that is not ordered after the data it
+//     publishes, so recovery can observe the publication without the
+//     payload.
+//   - redundant-barrier lint: persist barriers and strand boundaries
+//     that induce no new edge in the constraint graph under the model —
+//     pure execution cost (§4.1's motivation for minimizing stalls).
+//   - escape check: a persistent load whose imported persist dependence
+//     is discarded (by a NewStrand) or not yet bound when the thread
+//     next persists, for locations the application declared
+//     order-critical (§5.3's "a persist strand begins by reading
+//     persisted memory locations after which new persists must be
+//     ordered").
+//
+// Each hazard finding carries a one-line repro string in the
+// fault-campaign replay format (internal/fault), whose cut section is
+// the divergent crash state; `crashsim -replay` materializes it.
+package persistcheck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Extent is a byte range of the persistent address space.
+type Extent struct {
+	Addr memory.Addr
+	Size uint64
+}
+
+// Contains reports whether the access [a, a+size) lies inside the
+// extent.
+func (x Extent) Contains(a memory.Addr, size uint8) bool {
+	return a >= x.Addr && uint64(a-x.Addr)+uint64(size) <= x.Size
+}
+
+// Publication declares one recovery-critical publication word: a
+// persistent word whose persists make previously written data reachable
+// to recovery (the queue's head pointer, the journal's committed-head,
+// the PSTM seal). The checker verifies that every publication persist is
+// ordered after the covered data persists it publishes.
+type Publication struct {
+	// Name labels findings (e.g. "head", "committed-head", "done").
+	Name string
+	// Word is the publication word's address (8 bytes).
+	Word memory.Addr
+	// Data lists the extents the word publishes. A publication persist
+	// must be ordered after every in-scope data persist to these extents.
+	Data []Extent
+	// ValueCovers marks words holding a monotonic byte offset into
+	// Data[0]: a data persist at Data[0]+idx is published once a
+	// persisted value v satisfies idx+size ≤ v. This enables the
+	// cross-thread check (a thread publishing another thread's data, as
+	// in the two-lock queue); it applies only while v ≤ Data[0].Size
+	// (before the ring wraps, offsets map to addresses uniquely).
+	ValueCovers bool
+	// AllThreads widens a plain (non-ValueCovers) publication's scope
+	// from the issuing thread's pending data persists to every thread's:
+	// each publication persist must be ordered after all SC-earlier
+	// uncovered data persists, regardless of issuer. This expresses
+	// state-summary words whose value speaks for other threads' state —
+	// the PSTM arm word (overwriting it hides the previous transaction's
+	// in-flight evidence) and the journal checkpoint (truncating retires
+	// other threads' applies). Coverage is sticky: persists to the same
+	// word serialize under strong persist atomicity, so data covered by
+	// one publication persist is covered by all later ones.
+	AllThreads bool
+}
+
+// Region declares an order-critical persistent word for the escape
+// check: once a thread loads it, the thread's subsequent persists must
+// be ordered after the word's latest persist (§5.3's strand recipe; the
+// journal checkpoint and PSTM seal are the in-tree examples).
+type Region struct {
+	Name string
+	Addr memory.Addr
+	Size uint64
+}
+
+// Annotations is the application-declared recovery metadata the checker
+// reasons about. Structures expose it from their Meta (queue, journal,
+// pstm each provide a Checks method).
+type Annotations struct {
+	Pubs       []Publication
+	OrderAfter []Region
+}
+
+// Merge combines annotation sets (for workloads composing structures).
+func (a Annotations) Merge(b Annotations) Annotations {
+	return Annotations{
+		Pubs:       append(append([]Publication{}, a.Pubs...), b.Pubs...),
+		OrderAfter: append(append([]Region{}, a.OrderAfter...), b.OrderAfter...),
+	}
+}
+
+// Config parameterizes a check.
+type Config struct {
+	// Limit caps stored findings per analysis kind; 0 means 32. The
+	// per-kind total is always counted.
+	Limit int
+	// ReproParams, when set, are embedded in each hazard's repro string
+	// so `crashsim -replay` can rebuild the workload (same convention as
+	// fault campaigns). Without them repro strings are omitted.
+	ReproParams []fault.Param
+	// SiteLabel optionally maps a persist address to an annotation-site
+	// label for reports, matching telemetry.Tracer.SiteLabel.
+	SiteLabel func(memory.Addr) string
+}
+
+func (c *Config) limit() int {
+	if c.Limit <= 0 {
+		return 32
+	}
+	return c.Limit
+}
+
+func (c *Config) site(a memory.Addr) string {
+	if c.SiteLabel == nil {
+		return ""
+	}
+	return c.SiteLabel(a)
+}
+
+// Check runs all analyses over one trace under one persistency model.
+// The constraint graph is built once (coalescing is irrelevant to
+// ordering, as in package graph) and shared.
+func Check(tr *trace.Trace, p core.Params, ann Annotations, cfg Config) (*Report, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	g, barriers, err := graph.BuildWithBarriers(tr, p)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{Model: p.Model, Events: tr.Len(), Persists: g.Len(), Counts: map[Kind]int{}}
+	idx := newGraphIndex(tr, g)
+
+	checkPublications(tr, g, idx, ann, cfg, r)
+	checkEscapes(tr, g, idx, p, ann, cfg, r)
+	checkEpochRaces(tr, g, idx, p, cfg, r)
+	checkBarriers(tr, p, barriers, cfg, r)
+
+	return r, nil
+}
+
+// divergentCut returns the earliest crash state exposing node b without
+// node a: the down-closure of b under the model graph. Valid under the
+// model by construction; invalid under any model that orders a before b
+// (in particular SC/strict order whenever a precedes b in the trace),
+// which is what makes the state SC-divergent.
+func divergentCut(g *graph.Graph, idx *graphIndex, b graph.NodeID) graph.Cut {
+	c := graph.Cut{Included: make([]bool, g.Len())}
+	for _, id := range idx.ancestors(b) {
+		c.Included[id] = true
+	}
+	c.Included[b] = true
+	return c
+}
+
+// repro serializes a finding's divergent cut into the fault-campaign
+// replay format (empty fault plan).
+func (c *Config) repro(cut graph.Cut) string {
+	if len(c.ReproParams) == 0 {
+		return ""
+	}
+	s := fault.Scenario{Params: c.ReproParams, Cut: cut}
+	return s.Repro()
+}
+
+func fmtPersist(e trace.Event) string {
+	return fmt.Sprintf("#%d t%d %s %#x/%d", e.Seq, e.TID, e.Kind, uint64(e.Addr), e.Size)
+}

@@ -1,0 +1,131 @@
+package persistcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/memory"
+	"repro/internal/telemetry"
+)
+
+func TestReportLimitsStorageButCountsAll(t *testing.T) {
+	r := &Report{Counts: map[Kind]int{}}
+	for i := 0; i < 5; i++ {
+		r.add(Finding{Kind: EpochRace, Severity: Hazard, Msg: "race"}, 3)
+	}
+	r.add(Finding{Kind: RedundantBarrier, Severity: Perf, Msg: "noop barrier"}, 3)
+	if len(r.Findings) != 4 {
+		t.Fatalf("stored %d findings, want 4", len(r.Findings))
+	}
+	if r.Counts[EpochRace] != 5 || r.Counts[RedundantBarrier] != 1 {
+		t.Fatalf("counts: %v", r.Counts)
+	}
+	if r.Hazards() != 5 || r.PerfFindings() != 1 {
+		t.Fatalf("hazards=%d perf=%d", r.Hazards(), r.PerfFindings())
+	}
+	r.skip("strand: not applicable")
+	s := r.String()
+	for _, want := range []string{"hazards=5", "perf=1", "(skipped: strand: not applicable)", "... 2 more epoch-race"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestKindAndSeverityNames(t *testing.T) {
+	names := map[Kind]string{
+		EpochRace:              "epoch-race",
+		UnpersistedPublication: "unpersisted-publication",
+		RedundantBarrier:       "redundant-barrier",
+		UnboundRead:            "unbound-read",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d: %q", k, k.String())
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+	if Hazard.String() != "hazard" || Perf.String() != "perf" {
+		t.Fatal("severity strings")
+	}
+	if kindSeverity(RedundantBarrier) != Perf || kindSeverity(EpochRace) != Hazard {
+		t.Fatal("kind severities")
+	}
+}
+
+func TestFindingStringRendersSiteAndRepro(t *testing.T) {
+	f := Finding{Kind: UnpersistedPublication, Severity: Hazard, Msg: "m", Site: "head", Repro: "fault1|k=v|cut=1:01|plan="}
+	s := f.String()
+	if !strings.Contains(s, "[site head]") || !strings.Contains(s, "repro: fault1") {
+		t.Fatalf("finding rendering: %s", s)
+	}
+}
+
+func TestExtentContains(t *testing.T) {
+	x := Extent{Addr: 0x100, Size: 16}
+	if !x.Contains(0x100, 8) || !x.Contains(0x108, 8) {
+		t.Fatal("in-range access rejected")
+	}
+	if x.Contains(0x0f8, 8) || x.Contains(0x110, 8) || x.Contains(0x10c, 8) {
+		t.Fatal("out-of-range access accepted")
+	}
+}
+
+func TestAnnotationsMerge(t *testing.T) {
+	a := Annotations{Pubs: []Publication{{Name: "head"}}, OrderAfter: []Region{{Name: "ckpt"}}}
+	b := Annotations{Pubs: []Publication{{Name: "done"}}}
+	m := a.Merge(b)
+	if len(m.Pubs) != 2 || len(m.OrderAfter) != 1 {
+		t.Fatalf("merge: %+v", m)
+	}
+	if m.Pubs[0].Name != "head" || m.Pubs[1].Name != "done" {
+		t.Fatalf("merge order: %+v", m.Pubs)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.limit() != 32 {
+		t.Fatalf("default limit %d", c.limit())
+	}
+	if c.site(memory.PersistentBase) != "" {
+		t.Fatal("site without labeler")
+	}
+	c.SiteLabel = func(memory.Addr) string { return "x" }
+	if c.site(memory.PersistentBase) != "x" {
+		t.Fatal("site labeler ignored")
+	}
+	if c.repro(graph.Cut{}) != "" {
+		t.Fatal("repro without params")
+	}
+}
+
+func TestObservePublishesTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := &Report{
+		Model:    core.Epoch,
+		Persists: 7,
+		Counts:   map[Kind]int{EpochRace: 2, RedundantBarrier: 3},
+	}
+	Observe(reg, r)
+	c := reg.Counter(telemetry.Label("persistcheck_findings", "kind", "epoch-race", "severity", "hazard"))
+	if c.Value() != 2 {
+		t.Fatalf("findings counter = %d", c.Value())
+	}
+	p := reg.Counter(telemetry.Label("persistcheck_findings", "kind", "redundant-barrier", "severity", "perf"))
+	if p.Value() != 3 {
+		t.Fatalf("perf counter = %d", p.Value())
+	}
+	if g := reg.Gauge(telemetry.Label("persistcheck_hazards", "model", "epoch")); g.Value() != 2 {
+		t.Fatalf("hazards gauge = %v", g.Value())
+	}
+	if g := reg.Gauge(telemetry.Label("persistcheck_persists", "model", "epoch")); g.Value() != 7 {
+		t.Fatalf("persists gauge = %v", g.Value())
+	}
+	Observe(nil, r) // nil registry is a no-op
+	Observe(reg, nil)
+}

@@ -1,0 +1,23 @@
+package persistcheck
+
+import "repro/internal/telemetry"
+
+// Observe publishes a report's aggregates to a metrics registry, using
+// the same labeled-counter conventions as the rest of the telemetry
+// surface (persistcheck_findings{kind,severity} and summary gauges).
+func Observe(reg *telemetry.Registry, r *Report) {
+	if reg == nil || r == nil {
+		return
+	}
+	reg.SetHelp("persistcheck_findings", "persistency-checker findings by analysis kind")
+	reg.SetHelp("persistcheck_hazards", "persistency-checker hazard findings")
+	reg.SetHelp("persistcheck_persists", "persists analyzed by the persistency checker")
+	for _, k := range []Kind{EpochRace, UnpersistedPublication, RedundantBarrier, UnboundRead} {
+		if n := r.Counts[k]; n > 0 {
+			reg.Counter(telemetry.Label("persistcheck_findings",
+				"kind", k.String(), "severity", kindSeverity(k).String())).Add(int64(n))
+		}
+	}
+	reg.Gauge(telemetry.Label("persistcheck_hazards", "model", r.Model.String())).Set(float64(r.Hazards()))
+	reg.Gauge(telemetry.Label("persistcheck_persists", "model", r.Model.String())).Set(float64(r.Persists))
+}

@@ -1,0 +1,76 @@
+package pstm
+
+import (
+	"repro/internal/memory"
+	"repro/internal/persistcheck"
+)
+
+// Checks declares the heap's recovery-critical metadata for the
+// persistency checker (internal/persistcheck).
+//
+// The Done seal publishes the issuing thread's transaction: recovery
+// trusts sealed transactions and leaves their in-place updates alone,
+// so the seal persist must be ordered after the transaction's arm,
+// undo-record, and in-place persists (the pre-seal barrierStage).
+// Transactions are lock-serialized and each thread seals its own, so
+// plain same-thread publication scope is exact.
+//
+// The TxnID arm is a cross-thread (AllThreads) publication: arming
+// overwrites the previous transaction's in-flight evidence, and its
+// undo slots are reused next, so the arm persist must be ordered after
+// everything the previous transaction persisted — records, in-place
+// updates, and its seal. A racing-epochs crash can otherwise expose a
+// later armed id over a half-persisted earlier transaction, and
+// recovery, seeing only the newest arm, never rolls the earlier one
+// back (the torn pairs the crash tests demonstrate).
+//
+// The Done word is also the §5.3 OrderAfter region: a new transaction's
+// records overwrite the previous transaction's undo slots, so its
+// persists must stay ordered after the seal the thread observed (the
+// strand recipe in Atomic).
+func (m Meta) Checks() persistcheck.Annotations {
+	return persistcheck.Annotations{
+		Pubs: []persistcheck.Publication{{
+			Name: "done",
+			Word: m.Done,
+			Data: []persistcheck.Extent{
+				{Addr: m.Data, Size: uint64(m.Words) * 8},
+				{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
+				{Addr: m.TxnID, Size: 8},
+			},
+		}, {
+			Name: "arm",
+			Word: m.TxnID,
+			Data: []persistcheck.Extent{
+				{Addr: m.Data, Size: uint64(m.Words) * 8},
+				{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
+				{Addr: m.Done, Size: 8},
+			},
+			AllThreads: true,
+		}},
+		OrderAfter: []persistcheck.Region{{
+			Name: "done",
+			Addr: m.Done,
+			Size: 8,
+		}},
+	}
+}
+
+// SiteLabel maps persist addresses to the heap's annotation sites,
+// following the telemetry attribution convention.
+func (m Meta) SiteLabel() func(memory.Addr) string {
+	return func(a memory.Addr) string {
+		switch {
+		case a >= m.Data && a < m.Data+memory.Addr(m.Words*8):
+			return "data"
+		case a >= m.Undo && a < m.Undo+memory.Addr(uint64(m.UndoCap)*recordBytes):
+			return "undo"
+		case a >= m.TxnID && a < m.TxnID+8:
+			return "txn-id"
+		case a >= m.Done && a < m.Done+8:
+			return "done"
+		default:
+			return "other"
+		}
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"repro/internal/memory"
 )
 
-// Salvage recovery: the fault-tolerant counterpart of Recover.
+// RecoverSalvage is the fault-tolerant counterpart of Recover.
 //
 // Plain Recover stops at the first undo record whose checksum fails
 // and calls it the arming frontier — correct for clean crash states,

@@ -1,0 +1,30 @@
+package queue
+
+import "repro/internal/persistcheck"
+
+// Checks declares the queue's recovery-critical metadata for the
+// persistency checker (internal/persistcheck).
+//
+// The head word publishes by value: recovery scans entries in
+// [tail, head), so a persisted head value v covers every data persist
+// below offset v — including other threads' entries under Two-Lock
+// Concurrent, where the oldest inserter publishes the whole completed
+// prefix (Algorithm 1 line 28). The tail word is the §5.3 OrderAfter
+// region: an insert reuses slots freed by a tail advance, so its
+// persists must stay ordered after the tail persist it observed (the
+// strand recipe in strandOrderingRead exists for exactly this).
+func (m Meta) Checks() persistcheck.Annotations {
+	return persistcheck.Annotations{
+		Pubs: []persistcheck.Publication{{
+			Name:        "head",
+			Word:        m.Head,
+			Data:        []persistcheck.Extent{{Addr: m.Data, Size: m.DataBytes}},
+			ValueCovers: true,
+		}},
+		OrderAfter: []persistcheck.Region{{
+			Name: "tail",
+			Addr: m.Tail,
+			Size: 8,
+		}},
+	}
+}

@@ -90,6 +90,13 @@ func (k Kind) String() string {
 // IsAccess reports whether the kind reads or writes memory.
 func (k Kind) IsAccess() bool { return k == Load || k == Store || k == RMW }
 
+// IsAnnotation reports whether the kind is a persistency annotation
+// (PersistBarrier, NewStrand, PersistSync): an event with no memory
+// effect that only constrains the downstream persist-order analysis.
+func (k Kind) IsAnnotation() bool {
+	return k == PersistBarrier || k == NewStrand || k == PersistSync
+}
+
 // HasStoreSemantics reports whether the kind writes memory (Store, RMW).
 func (k Kind) HasStoreSemantics() bool { return k == Store || k == RMW }
 
