@@ -11,9 +11,10 @@
 //	         [-inserts N] [-samples N] [-seed S]
 //	         [-break-barrier] [-omit-completion-barrier]
 //	         [-break-commit] [-omit-strand-recipe]
+//	         [-integrity]
 //	         [-check]
 //	         [-campaign] [-scenarios N] [-faults N] [-parallel N]
-//	         [-replay REPRO]
+//	         [-fail-on-silent] [-replay REPRO]
 //
 // With -break-barrier the data→head barrier is dropped, and the
 // observer demonstrates the resulting corruption — the ordering
@@ -33,6 +34,15 @@
 // must mask, salvage, or detect every fault. A failing campaign prints
 // a minimized one-line repro; -replay takes that line and reproduces
 // the failure deterministically.
+//
+// With -integrity the structure is built with the corruption-detecting
+// durable format (internal/durable): CRC-framed records, dual-copy
+// pointer words behind corruption-detecting booleans, and shadow
+// checksums. Campaigns then classify silent bit errors the checksums
+// catch as detected-and-recovered instead of silently missed — the
+// summary's detected-vs-silent column shows the difference.
+// -fail-on-silent turns that column into a gate: exit status 2 if any
+// silent flip corrupted state undetected (CI runs it with -integrity).
 package main
 
 import (
@@ -70,9 +80,11 @@ func main() {
 		omitComp   = flag.Bool("omit-completion-barrier", false, "drop 2LC's completion barrier (negative test)")
 		breakCmt   = flag.Bool("break-commit", false, "drop the journal's records→commit barrier (negative test)")
 		omitRcp    = flag.Bool("omit-strand-recipe", false, "drop the journal's §5.3 strand recipe (negative test)")
+		integrity  = flag.Bool("integrity", false, "build with the corruption-detecting durable format (CRC frames, durable words, shadows)")
 		check      = flag.Bool("check", false, "run the static persistency checker instead of sampling crash states")
 		payloadLen = flag.Int("payload", 64, "payload bytes (queue only)")
 		campaign   = flag.Bool("campaign", false, "run a fault-injection campaign (salvage recovery)")
+		failSilent = flag.Bool("fail-on-silent", false, "campaign: exit 2 if any silent bit flip corrupted state undetected (the bar -integrity is expected to meet)")
 		scenarios  = flag.Int("scenarios", 1000, "campaign scenarios (cut × fault plan)")
 		faults     = flag.Int("faults", 3, "max injected faults per scenario")
 		replayStr  = flag.String("replay", "", "repro string from a failed campaign; replays it and exits")
@@ -137,6 +149,7 @@ func main() {
 		Threads: *threads, Inserts: *inserts, Payload: *payloadLen, Seed: *seed,
 		BreakBar: *breakBar, OmitComp: *omitComp,
 		BreakCommit: *breakCmt, OmitRecipe: *omitRcp,
+		Integrity: *integrity,
 		DesignStr: *designStr, PolicyStr: *policyStr,
 	}
 	var cache *bench.TraceCache
@@ -217,8 +230,14 @@ func main() {
 			harmless := out.SilentBitSeen - out.SilentBitCaught - out.SilentBitMissed
 			fmt.Printf("silent-bit detection: %d scenarios injected silent flips: %d caught by checksums, %d harmless, %d corrupted state undetected (the documented exception)\n",
 				out.SilentBitSeen, out.SilentBitCaught, harmless, out.SilentBitMissed)
+			fmt.Printf("detected/silent: %d detected (%d recovered in full; crc %d, cdb %d), %d silent\n",
+				out.SilentBitCaught, out.DetectedRecovered, out.CRCDetected, out.CDBDetected, out.SilentBitMissed)
 		}
 		printCampaignJSON(out)
+		if *failSilent && out.SilentBitMissed > 0 {
+			fmt.Printf("verdict  : %d silent bit flip(s) corrupted state undetected\n", out.SilentBitMissed)
+			os.Exit(2)
+		}
 		if out.Clean() {
 			fmt.Println("verdict  : every injected fault was masked, salvaged, or detected")
 			return
@@ -252,11 +271,15 @@ func printCampaignJSON(out observer.CampaignOutcome) {
 		"scenarios":          out.Scenarios,
 		"masked":             out.Masked,
 		"salvaged":           out.Salvaged,
+		"detected_recovered": out.DetectedRecovered,
 		"silent_bit_missed":  out.SilentBitMissed,
 		"annotation_corrupt": out.AnnotationCorrupt,
 		"silent_corrupt":     out.SilentCorrupt,
 		"silent_bit_seen":    out.SilentBitSeen,
 		"silent_bit_caught":  out.SilentBitCaught,
+		"crc_detected":       out.CRCDetected,
+		"cdb_detected":       out.CDBDetected,
+		"discarded_records":  out.DiscardedRecords,
 		"retries":            out.Retries,
 		"failed_persists":    out.FailedPersists,
 		"clean":              out.Clean(),

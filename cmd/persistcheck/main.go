@@ -14,6 +14,10 @@
 //   - redundant barriers: annotations inducing no new constraint-graph
 //     edge (pure persist-latency cost, reported with the telemetry
 //     attribution site)
+//   - unprotected recovery metadata: publication words and order-after
+//     regions with no integrity protection (CRC frame, shadow
+//     checksum, or durable word) — robustness findings, advisory by
+//     default; -require-integrity turns them into failures
 //
 // Usage:
 //
@@ -23,6 +27,7 @@
 //	             [-threads N] [-inserts N] [-payload N] [-seed S]
 //	             [-break-barrier] [-omit-completion-barrier]
 //	             [-break-commit] [-omit-strand-recipe]
+//	             [-integrity] [-require-integrity]
 //	             [-limit N] [-metrics-out FILE]
 //
 // Without -model the checker uses the policy's natural target model
@@ -60,6 +65,8 @@ func main() {
 		omitComp   = flag.Bool("omit-completion-barrier", false, "drop 2LC's completion barrier (negative test)")
 		breakCmt   = flag.Bool("break-commit", false, "drop the journal's records→commit barrier (negative test)")
 		omitRcp    = flag.Bool("omit-strand-recipe", false, "drop the journal's §5.3 strand recipe (negative test)")
+		integrity  = flag.Bool("integrity", false, "build with the corruption-detecting durable format (CRC frames, durable words, shadows)")
+		requireInt = flag.Bool("require-integrity", false, "fail (exit 2) on unprotected recovery metadata findings")
 		limit      = flag.Int("limit", 0, "max stored findings per kind (0 = default)")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
 	)
@@ -87,12 +94,14 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	hazards := 0
+	robustness := 0
 	for i, model := range models {
 		opts := workload.Options{
 			Workload: *wl, Design: design, Policy: policy, Model: model,
 			Threads: *threads, Inserts: *inserts, Payload: *payloadLen, Seed: *seed,
 			BreakBar: *breakBar, OmitComp: *omitComp,
 			BreakCommit: *breakCmt, OmitRecipe: *omitRcp,
+			Integrity: *integrity,
 			DesignStr: *designStr, PolicyStr: *policyStr,
 		}
 		run, err := workload.Build(opts, nil)
@@ -114,6 +123,7 @@ func main() {
 		fmt.Print(rep)
 		persistcheck.Observe(reg, rep)
 		hazards += rep.Hazards()
+		robustness += rep.RobustnessFindings()
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(reg, *metricsOut); err != nil {
@@ -122,6 +132,10 @@ func main() {
 	}
 	if hazards > 0 {
 		fmt.Printf("verdict  : %d persistency hazard(s) found\n", hazards)
+		os.Exit(2)
+	}
+	if *requireInt && robustness > 0 {
+		fmt.Printf("verdict  : %d unprotected recovery metadata finding(s) (-require-integrity)\n", robustness)
 		os.Exit(2)
 	}
 	fmt.Println("verdict  : no persistency hazards found")

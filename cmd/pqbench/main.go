@@ -57,6 +57,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 		check      = flag.Bool("check", false, "run the persistency checker over the benchmark queue configurations and exit (status 2 on hazards)")
+		integrity  = flag.Bool("integrity", false, "use the corruption-detecting durable format in the ablation workloads (framing overhead shows up in persist counts)")
 	)
 	flag.Parse()
 
@@ -90,7 +91,7 @@ func main() {
 		fatal(err)
 	}
 	if *check {
-		hazards, err := checkPass(reg, threads, *inserts, *payload, *seed)
+		hazards, err := checkPass(reg, threads, *inserts, *payload, *seed, *integrity)
 		if err != nil {
 			fatal(err)
 		}
@@ -224,7 +225,7 @@ func main() {
 	run("banks", func() error {
 		// Device ablation: beyond the paper's infinite-bandwidth
 		// assumption, sweep bank counts for the epoch-annotated queue.
-		w := bench.Workload{Design: queue.CWL, Policy: queue.PolicyEpoch, Threads: 4, Inserts: min(*inserts, 2000), PayloadLen: *payload, Seed: *seed}
+		w := bench.Workload{Design: queue.CWL, Policy: queue.PolicyEpoch, Threads: 4, Inserts: min(*inserts, 2000), PayloadLen: *payload, Seed: *seed, Integrity: *integrity}
 		tr, err := cache.Trace(w)
 		if err != nil {
 			return err
@@ -283,7 +284,7 @@ func main() {
 		tbl := stats.NewTable("policy", "threads", "mean", "p50", "p90", "p99", "max")
 		for _, pol := range queue.Policies {
 			for _, th := range threads {
-				w := bench.Workload{Design: queue.CWL, Policy: pol, Threads: th, Inserts: min(*inserts, 10000), PayloadLen: *payload, Seed: *seed}
+				w := bench.Workload{Design: queue.CWL, Policy: pol, Threads: th, Inserts: min(*inserts, 10000), PayloadLen: *payload, Seed: *seed, Integrity: *integrity}
 				r, err := bench.SimulateCached(cache, w, core.Params{Model: bench.ModelFor(pol), TrackWorkPath: true})
 				if err != nil {
 					return err
@@ -311,7 +312,7 @@ func main() {
 		tbl := stats.NewTable("policy", "threads", "persist-epochs", "races")
 		for _, pol := range queue.Policies {
 			for _, th := range threads {
-				w := bench.Workload{Design: queue.CWL, Policy: pol, Threads: th, Inserts: min(*inserts, 2000), PayloadLen: *payload, Seed: *seed}
+				w := bench.Workload{Design: queue.CWL, Policy: pol, Threads: th, Inserts: min(*inserts, 2000), PayloadLen: *payload, Seed: *seed, Integrity: *integrity}
 				tr, err := cache.Trace(w)
 				if err != nil {
 					return err
@@ -346,7 +347,7 @@ func main() {
 		w := bench.Workload{
 			Design: queue.CWL, Policy: queue.PolicyEpoch, Threads: 1,
 			Inserts: min(*inserts, 5000), PayloadLen: *payload, Seed: *seed,
-			DataBytes: 1 << 16, Overwrite: true,
+			DataBytes: 1 << 16, Overwrite: true, Integrity: *integrity,
 		}
 		tr, err := cache.Trace(w)
 		if err != nil {
@@ -392,7 +393,7 @@ func main() {
 				return err
 			}
 		}
-		w := bench.Workload{Design: queue.CWL, Policy: queue.PolicyStrict, Threads: 1, Inserts: *inserts, PayloadLen: *payload, Seed: *seed}
+		w := bench.Workload{Design: queue.CWL, Policy: queue.PolicyStrict, Threads: 1, Inserts: *inserts, PayloadLen: *payload, Seed: *seed, Integrity: *integrity}
 		r, err := bench.SimulateCached(cache, w, core.Params{Model: core.Strict})
 		if err != nil {
 			return err
@@ -424,7 +425,7 @@ func main() {
 				maxT = t
 			}
 		}
-		if err := tracePass(reg, *traceOut, maxT, *payload, *traceIns, *seed); err != nil {
+		if err := tracePass(reg, *traceOut, maxT, *payload, *traceIns, *seed, *integrity); err != nil {
 			fatal(err)
 		}
 	}
@@ -458,7 +459,7 @@ func main() {
 // should produce zero hazards; a hazard means the measured numbers
 // belong to an incorrectly ordered structure. Checker aggregates land
 // in the shared metrics registry.
-func checkPass(reg *telemetry.Registry, threads []int, inserts, payload int, seed int64) (int, error) {
+func checkPass(reg *telemetry.Registry, threads []int, inserts, payload int, seed int64, integrity bool) (int, error) {
 	hazards := 0
 	for _, design := range []string{"cwl", "2lc"} {
 		for _, policy := range []string{"strict", "epoch", "strand"} {
@@ -475,7 +476,7 @@ func checkPass(reg *telemetry.Registry, threads []int, inserts, payload int, see
 					Workload: "queue", Design: d, Policy: p,
 					Model:   workload.ModelForPolicy("queue", p),
 					Threads: th, Inserts: min(inserts, 64*th), Payload: payload, Seed: seed,
-					DesignStr: design, PolicyStr: policy,
+					DesignStr: design, PolicyStr: policy, Integrity: integrity,
 				}
 				run, err := workload.Build(o, nil)
 				if err != nil {
@@ -502,7 +503,7 @@ func checkPass(reg *telemetry.Registry, threads []int, inserts, payload int, see
 // its simulation result, prints the critical-path attribution reports,
 // and exports one Perfetto-loadable Chrome trace with a process per
 // configuration.
-func tracePass(reg *telemetry.Registry, path string, threads, payload, inserts int, seed int64) error {
+func tracePass(reg *telemetry.Registry, path string, threads, payload, inserts int, seed int64, integrity bool) error {
 	models := []core.Model{core.Strict, core.Epoch, core.Strand}
 	policies := []queue.Policy{queue.PolicyStrict, queue.PolicyEpoch, queue.PolicyStrand}
 	var tracers []*telemetry.Tracer
@@ -512,6 +513,7 @@ func tracePass(reg *telemetry.Registry, path string, threads, payload, inserts i
 			w := bench.Workload{
 				Design: d, Policy: policies[i],
 				Threads: threads, Inserts: inserts, PayloadLen: payload, Seed: seed,
+				Integrity: integrity,
 			}
 			meta, err := bench.QueueMeta(w)
 			if err != nil {

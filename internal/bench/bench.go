@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/exec"
 	"repro/internal/memory"
 	"repro/internal/queue"
@@ -46,6 +47,10 @@ type Workload struct {
 	// ratchets persist levels through strong persist atomicity on
 	// recycled blocks).
 	Overwrite bool
+	// Integrity runs the queue with the corruption-detecting durable
+	// format (internal/durable) — CRC-framed entries and dual-copy
+	// pointer words — so benchmarks expose the framing overhead.
+	Integrity bool
 }
 
 func (w *Workload) normalize() error {
@@ -90,6 +95,7 @@ func Run(w Workload, sink trace.Sink) (*exec.Machine, error) {
 		Policy:     w.Policy,
 		MaxThreads: w.Threads,
 		Overwrite:  w.Overwrite,
+		Integrity:  w.Integrity,
 	})
 	if err != nil {
 		return nil, err
@@ -160,7 +166,7 @@ func QueueMeta(w Workload) (queue.Meta, error) {
 	s := m.SetupThread()
 	q, err := queue.New(s, queue.Config{
 		DataBytes: w.DataBytes, Design: w.Design, Policy: w.Policy,
-		MaxThreads: w.Threads, Overwrite: w.Overwrite,
+		MaxThreads: w.Threads, Overwrite: w.Overwrite, Integrity: w.Integrity,
 	})
 	if err != nil {
 		return queue.Meta{}, err
@@ -172,11 +178,15 @@ func QueueMeta(w Workload) (queue.Meta, error) {
 // ("head", "tail", "slot data") given its layout — the labeler
 // critical-path attribution reports use.
 func SiteLabel(meta queue.Meta) func(memory.Addr) string {
+	ptrSpan := memory.Addr(memory.WordSize)
+	if meta.Integrity {
+		ptrSpan = durable.WordBytes
+	}
 	return func(a memory.Addr) string {
 		switch {
-		case a >= meta.Head && a < meta.Head+memory.Addr(memory.WordSize):
+		case a >= meta.Head && a < meta.Head+ptrSpan:
 			return "head"
-		case a >= meta.Tail && a < meta.Tail+memory.Addr(memory.WordSize):
+		case a >= meta.Tail && a < meta.Tail+ptrSpan:
 			return "tail"
 		case a >= meta.Data && a < meta.Data+memory.Addr(meta.DataBytes):
 			return "slot data"
@@ -204,6 +214,8 @@ func ModelFor(p queue.Policy) core.Model {
 // the native (non-simulated) queue twin with the same design, thread
 // count, and payload size. This plays the role of the paper's Xeon
 // E5645 measurement; only the ratio to persist-bound rates matters.
+// The native twin ignores Integrity: framing costs persists, not
+// instructions, so the instruction rate is the same either way.
 func NativeRate(w Workload) (float64, error) {
 	if err := w.normalize(); err != nil {
 		return 0, err

@@ -1,0 +1,81 @@
+// Package durable is the integrity layer for persistent formats:
+// CRC-framed records, corruption-detecting booleans (CDBs), and
+// dual-copy durable words built from both. It supplies the pieces the
+// persistent structures (queue, journal, pstm) use to turn silent
+// media corruption — the one fault class the fault engine injects that
+// plain offset-keyed checksums may miss — into *detected* corruption.
+//
+// The recipe follows the verified-storage literature (the capybaraNS
+// axioms): a byte sequence written to persistent memory is trusted
+// only when it carries a CRC over its contents (Axiom_BytesUncorrupted
+// in spirit: a frame whose CRC validates is, with overwhelming
+// probability, the bytes that were written), and a boolean commit flag
+// is stored as one of two constants far apart in Hamming distance, so
+// any small corruption yields a value that is *neither* constant and
+// the reader falls back to the other copy instead of trusting rot.
+//
+// Three exports matter:
+//
+//   - Frame (frame.go): a length-prefixed, CRC64-trailed record codec
+//     over persistent words. SealFrame writes it; OpenFrame returns
+//     (payload, ok) and never trusts a frame whose CRC mismatches.
+//   - CDBFalse/CDBTrue + DecodeCDB: the corruption-detecting boolean.
+//   - Word (word.go): a crash-atomic, corruption-detecting uint64 cell
+//     (dual copies selected by a CDB) for commit points and other
+//     monotonic recovery metadata.
+//
+// Everything here is deterministic and value-level; media poison
+// (detectable-uncorrectable errors) stays the caller's concern, as in
+// the rest of the recovery layer.
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+)
+
+// crcTable is the CRC64-ECMA table all durable checksums use.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksum computes the CRC64-ECMA checksum of data, salted with a
+// caller-chosen binding value (a monotonic offset, an address, a
+// transaction id — whatever ties the frame to its logical position so
+// stale bytes from a previous era cannot masquerade as current).
+func Checksum(salt uint64, data []byte) uint64 {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], salt)
+	return crc64.Update(crc64.Checksum(s[:], crcTable), crcTable, data)
+}
+
+// ChecksumWord is Checksum over a single uint64 value (the durable
+// Word copies and the per-word shadow arrays use it).
+func ChecksumWord(salt, v uint64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return Checksum(salt, b[:])
+}
+
+// Corruption-detecting boolean constants: CRC64-ECMA of the ASCII
+// bytes "0" and "1" (the capybaraNS construction). The two values
+// differ in 37 of 64 bits, so no small burst of bit errors converts
+// one into the other; any other read value is evidence of corruption.
+const (
+	// CDBFalse encodes false (durable Word: copy A is active).
+	CDBFalse uint64 = 0x9901423b97329582
+	// CDBTrue encodes true (durable Word: copy B is active).
+	CDBTrue uint64 = 0x2a2f0e859495caed
+)
+
+// DecodeCDB interprets a corruption-detecting boolean. ok is false
+// when v is neither constant — the read bytes are corrupt and the
+// caller must fall back (to the other copy, the previous epoch)
+// rather than guess.
+func DecodeCDB(v uint64) (val bool, ok bool) {
+	switch v {
+	case CDBFalse:
+		return false, true
+	case CDBTrue:
+		return true, true
+	}
+	return false, false
+}

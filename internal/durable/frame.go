@@ -1,0 +1,70 @@
+package durable
+
+import (
+	"repro/internal/exec"
+	"repro/internal/memory"
+)
+
+// Frame: the CRC-framed record codec.
+//
+// A frame is a length-prefixed byte sequence in persistent memory with
+// a trailing CRC64 word:
+//
+//	[ length 8B | payload … | pad to 8B | crc 8B ]
+//
+// The CRC is computed over the payload, salted with a caller-chosen
+// binding value, so a frame validates only at its own logical position
+// (monotonic ring offset, transaction id) — stale eras and relocated
+// bytes fail to open. The layout matches the queue's historical entry
+// layout exactly: the CRC word starts at the first word boundary past
+// the payload so the CRC persist never shares a word with the
+// payload's tail (that sharing would order the two persists through
+// strong persist atomicity — an avoidable intra-record false
+// dependence).
+
+const (
+	// frameHeaderBytes is the length word.
+	frameHeaderBytes = 8
+	// frameCRCBytes trails the payload.
+	frameCRCBytes = 8
+)
+
+// CRCOffset returns the frame-relative offset of the CRC word for a
+// payload length.
+func CRCOffset(payloadLen int) uint64 {
+	return uint64(memory.AlignUp(memory.Addr(frameHeaderBytes+payloadLen), memory.WordSize))
+}
+
+// FrameBytes returns the total frame size for a payload length.
+func FrameBytes(payloadLen int) uint64 {
+	return CRCOffset(payloadLen) + frameCRCBytes
+}
+
+// SealFrame persists one frame at base: length word, payload bytes,
+// CRC word. The caller orders the frame against other persists (the
+// frame's own words may persist in any order; recovery treats a frame
+// that fails to open as never written).
+func SealFrame(t *exec.Thread, base memory.Addr, salt uint64, payload []byte) {
+	t.Store8(base, uint64(len(payload)))
+	t.StoreBytes(base+frameHeaderBytes, payload)
+	t.Store8(base+memory.Addr(CRCOffset(len(payload))), Checksum(salt, payload))
+}
+
+// OpenFrame reads the frame at base from a post-crash image and
+// returns its payload. ok is false — and the payload nil — when the
+// frame cannot be trusted: implausible length (zero, or beyond
+// maxPayload), or CRC mismatch under the expected salt. A torn or
+// bit-rotted frame is thus *detected*, never returned. OpenFrame reads
+// values only; callers check media poison separately.
+func OpenFrame(im *memory.Image, base memory.Addr, salt uint64, maxPayload uint64) (payload []byte, ok bool) {
+	length := im.ReadWord(base)
+	if length == 0 || length > maxPayload {
+		return nil, false
+	}
+	payload = make([]byte, length)
+	im.ReadBytes(base+frameHeaderBytes, payload)
+	if im.ReadWord(base+memory.Addr(CRCOffset(int(length)))) != Checksum(salt, payload) {
+		return nil, false
+	}
+	return payload, true
+}

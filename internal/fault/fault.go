@@ -198,17 +198,41 @@ type RecoveryReport struct {
 	// committed/checkpoint, armed/done) was implausible or poisoned and
 	// the scan ran in degraded mode.
 	HeaderQuarantined bool
+	// CRCDetected counts CRC validation failures (frame or shadow
+	// checksums, durable-word copies) caught by the integrity layer.
+	CRCDetected int
+	// CDBDetected counts corruption-detecting booleans read as neither
+	// constant — direct evidence of metadata corruption.
+	CDBDetected int
+	// DiscardedRecords counts records past the commit frontier that
+	// recovery deliberately discarded (uncommitted or torn tails). A
+	// nonzero count is *normal* on a mid-operation crash cut and is NOT
+	// corruption evidence; it is reported for visibility only.
+	DiscardedRecords int
 	// BytesScanned is the number of NVRAM bytes examined.
 	BytesScanned uint64
 	// Notes carries short human-readable reasons (capped).
 	Notes []string
 }
 
-// Detected reports whether the recovery saw any evidence of corruption.
-// A clean report plus wrong recovered data is a *silent* corruption —
-// the class fault campaigns exist to rule out.
+// Detected reports whether the recovery saw any evidence of corruption
+// — quarantine/drop/poison from the salvage layer, or a CRC/CDB hit
+// from the integrity layer. DiscardedRecords is deliberately excluded:
+// discarding an uncommitted tail is the expected outcome of a clean
+// crash cut, not corruption. A clean report plus wrong recovered data
+// is a *silent* corruption — the class fault campaigns exist to rule
+// out; a report where Detected() is true means the corruption was
+// caught (detected-and-recovered), never silently trusted.
 func (r *RecoveryReport) Detected() bool {
-	return r.Quarantined > 0 || r.Dropped > 0 || r.PoisonedWords > 0 || r.HeaderQuarantined
+	return r.Quarantined > 0 || r.Dropped > 0 || r.PoisonedWords > 0 || r.HeaderQuarantined ||
+		r.DetectedByIntegrity()
+}
+
+// DetectedByIntegrity reports whether the integrity layer (CRC frames,
+// shadow checksums, CDBs) specifically caught corruption, as opposed
+// to the coarser salvage heuristics.
+func (r *RecoveryReport) DetectedByIntegrity() bool {
+	return r.CRCDetected > 0 || r.CDBDetected > 0
 }
 
 // maxNotes bounds the notes a report accumulates.
@@ -228,6 +252,9 @@ func (r *RecoveryReport) Merge(o RecoveryReport) {
 	r.Dropped += o.Dropped
 	r.PoisonedWords += o.PoisonedWords
 	r.HeaderQuarantined = r.HeaderQuarantined || o.HeaderQuarantined
+	r.CRCDetected += o.CRCDetected
+	r.CDBDetected += o.CDBDetected
+	r.DiscardedRecords += o.DiscardedRecords
 	r.BytesScanned += o.BytesScanned
 	for _, n := range o.Notes {
 		r.Note("%s", n)
@@ -238,6 +265,12 @@ func (r *RecoveryReport) Merge(o RecoveryReport) {
 func (r *RecoveryReport) String() string {
 	s := fmt.Sprintf("recovered %d, quarantined %d, dropped %d, poisoned %d, %d bytes scanned",
 		r.Recovered, r.Quarantined, r.Dropped, r.PoisonedWords, r.BytesScanned)
+	if r.DetectedByIntegrity() {
+		s += fmt.Sprintf(", integrity-detected (crc %d, cdb %d)", r.CRCDetected, r.CDBDetected)
+	}
+	if r.DiscardedRecords > 0 {
+		s += fmt.Sprintf(", discarded %d uncommitted", r.DiscardedRecords)
+	}
 	if r.HeaderQuarantined {
 		s += ", HEADER QUARANTINED"
 	}

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"repro/internal/durable"
 	"repro/internal/memory"
 	"repro/internal/persistcheck"
 )
@@ -25,39 +26,74 @@ import (
 // checkpoint persist the thread observed (the strand recipe
 // Config.OmitStrandRecipe removes).
 func (m Meta) Checks() persistcheck.Annotations {
+	if !m.Integrity {
+		return persistcheck.Annotations{
+			Pubs: []persistcheck.Publication{{
+				Name:        "committed-head",
+				Word:        m.CommittedHead,
+				Data:        []persistcheck.Extent{{Addr: m.Journal, Size: m.JournalBytes}},
+				ValueCovers: true,
+			}, {
+				Name:       "checkpoint",
+				Word:       m.Checkpoint,
+				Data:       []persistcheck.Extent{{Addr: m.Table, Size: uint64(m.Blocks) * BlockBytes}},
+				AllThreads: true,
+			}},
+			OrderAfter: []persistcheck.Region{{
+				Name: "checkpoint",
+				Addr: m.Checkpoint,
+				Size: 8,
+			}},
+		}
+	}
+	// Integrity layout: both pointer words are dual-copy durable words
+	// whose copies inherit the publication obligation; the checkpoint's
+	// scope widens to the shadow array (truncation retires a block's
+	// redo records only once content AND shadow are bound). Everything
+	// recovery reads is declared Protected.
+	cw := durable.Word{Base: m.CommittedHead}
+	kw := durable.Word{Base: m.Checkpoint}
+	pubs := cw.Checks("committed-head", []persistcheck.Extent{{Addr: m.Journal, Size: m.JournalBytes}}, true, false)
+	pubs = append(pubs, kw.Checks("checkpoint", []persistcheck.Extent{
+		{Addr: m.Table, Size: uint64(m.Blocks) * BlockBytes},
+		{Addr: m.BlockCRC, Size: uint64(m.Blocks) * 8},
+	}, false, true)...)
 	return persistcheck.Annotations{
-		Pubs: []persistcheck.Publication{{
-			Name:        "committed-head",
-			Word:        m.CommittedHead,
-			Data:        []persistcheck.Extent{{Addr: m.Journal, Size: m.JournalBytes}},
-			ValueCovers: true,
-		}, {
-			Name:       "checkpoint",
-			Word:       m.Checkpoint,
-			Data:       []persistcheck.Extent{{Addr: m.Table, Size: uint64(m.Blocks) * BlockBytes}},
-			AllThreads: true,
-		}},
+		Pubs: pubs,
 		OrderAfter: []persistcheck.Region{{
 			Name: "checkpoint",
 			Addr: m.Checkpoint,
 			Size: 8,
 		}},
+		Protected: []persistcheck.Extent{
+			cw.Extent(),
+			kw.Extent(),
+			{Addr: m.Journal, Size: m.JournalBytes},
+			{Addr: m.Table, Size: uint64(m.Blocks) * BlockBytes},
+			{Addr: m.BlockCRC, Size: uint64(m.Blocks) * 8},
+		},
 	}
 }
 
 // SiteLabel maps persist addresses to the store's annotation sites,
 // following the telemetry attribution convention.
 func (m Meta) SiteLabel() func(memory.Addr) string {
+	ptrSpan := memory.Addr(8)
+	if m.Integrity {
+		ptrSpan = durable.WordBytes
+	}
 	return func(a memory.Addr) string {
 		switch {
 		case a >= m.Table && a < m.Table+memory.Addr(m.Blocks*BlockBytes):
 			return "table"
 		case a >= m.Journal && a < m.Journal+memory.Addr(m.JournalBytes):
 			return "journal"
-		case a >= m.CommittedHead && a < m.CommittedHead+8:
+		case a >= m.CommittedHead && a < m.CommittedHead+ptrSpan:
 			return "committed-head"
-		case a >= m.Checkpoint && a < m.Checkpoint+8:
+		case a >= m.Checkpoint && a < m.Checkpoint+ptrSpan:
 			return "checkpoint"
+		case m.Integrity && a >= m.BlockCRC && a < m.BlockCRC+memory.Addr(m.Blocks*8):
+			return "block-crc"
 		default:
 			return "other"
 		}

@@ -29,8 +29,10 @@
 package journal
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/exec"
 	"repro/internal/locks"
 	"repro/internal/memory"
@@ -84,6 +86,10 @@ const (
 	kindData = 0xda7a
 	// wrapKind marks a skipped ring tail.
 	wrapKind = ^uint64(0)
+	// recordPayloadBytes is the integrity-mode frame payload: txn id,
+	// block index, block data. The frame (96 bytes) fits the 128-byte
+	// record slot; its length word doubles as the wrap-marker word.
+	recordPayloadBytes = 16 + BlockBytes
 )
 
 // Config parameterizes a Store.
@@ -105,6 +111,12 @@ type Config struct {
 	// truncation the thread observed, so a crash can expose a stale
 	// checkpoint alongside newer ring contents.
 	OmitStrandRecipe bool
+	// Integrity hardens the durable format (internal/durable): the
+	// commit point and checkpoint become dual-copy durable words,
+	// redo records become CRC64 frames bound to their ring offset, and
+	// every in-place apply maintains a per-block shadow checksum, so
+	// recovery detects silent media corruption anywhere it reads.
+	Integrity bool
 }
 
 // Meta locates the Store's persistent structures for recovery.
@@ -114,11 +126,19 @@ type Meta struct {
 	Journal      memory.Addr
 	JournalBytes uint64
 	// CommittedHead is the persistent commit point: a monotonic ring
-	// offset covering all committed records.
+	// offset covering all committed records. With Integrity it is the
+	// base of a 40-byte durable word.
 	CommittedHead memory.Addr
 	// Checkpoint is the persistent truncation point: records below it
-	// are already applied in place.
+	// are already applied in place. With Integrity it is the base of a
+	// 40-byte durable word.
 	Checkpoint memory.Addr
+	// Integrity marks the hardened layout (durable-word pointers,
+	// CRC-framed records, per-block shadow checksums).
+	Integrity bool
+	// BlockCRC is the shadow checksum array (one word per table block),
+	// maintained alongside every in-place apply. Zero unless Integrity.
+	BlockCRC memory.Addr
 }
 
 // Store is the journaled metadata store.
@@ -144,16 +164,27 @@ func New(s *exec.Thread, cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("journal: ring too small")
 	}
 	st := &Store{cfg: cfg}
+	ptrBytes := 8
+	if cfg.Integrity {
+		ptrBytes = durable.WordBytes
+	}
 	st.meta = Meta{
 		Table:         s.MallocPersistent(cfg.Blocks*BlockBytes, 64),
 		Blocks:        cfg.Blocks,
 		Journal:       s.MallocPersistent(int(cfg.JournalBytes), 64),
 		JournalBytes:  cfg.JournalBytes,
-		CommittedHead: s.MallocPersistent(8, 64),
-		Checkpoint:    s.MallocPersistent(8, 64),
+		CommittedHead: s.MallocPersistent(ptrBytes, 64),
+		Checkpoint:    s.MallocPersistent(ptrBytes, 64),
+		Integrity:     cfg.Integrity,
 	}
-	s.Store8(st.meta.CommittedHead, 0)
-	s.Store8(st.meta.Checkpoint, 0)
+	if cfg.Integrity {
+		st.meta.BlockCRC = s.MallocPersistent(cfg.Blocks*8, 64)
+		durable.Word{Base: st.meta.CommittedHead}.Init(s, 0)
+		durable.Word{Base: st.meta.Checkpoint}.Init(s, 0)
+	} else {
+		s.Store8(st.meta.CommittedHead, 0)
+		s.Store8(st.meta.Checkpoint, 0)
+	}
 	s.PersistBarrier()
 	st.lock = locks.NewMCS(s)
 	st.headV = s.MallocVolatile(8, 64)
@@ -193,6 +224,37 @@ func (st *Store) barrierStage(t *exec.Thread) {
 	}
 }
 
+// Pointer accessors: integrity mode stores the commit point and the
+// checkpoint in dual-copy durable words whose commit point is the CDB
+// flip at the word's base address — the same address the plain layout
+// uses, so the strand recipe's Load8 keeps importing the right
+// dependence either way.
+
+func (st *Store) relaxed() bool { return st.cfg.Policy != PolicyStrict }
+
+func (st *Store) loadCheckpoint(t *exec.Thread) uint64 {
+	if st.cfg.Integrity {
+		return durable.Word{Base: st.meta.Checkpoint}.Load(t)
+	}
+	return t.Load8(st.meta.Checkpoint)
+}
+
+func (st *Store) storeCheckpoint(t *exec.Thread, v uint64) {
+	if st.cfg.Integrity {
+		durable.Word{Base: st.meta.Checkpoint}.Store(t, v, st.relaxed())
+		return
+	}
+	t.Store8(st.meta.Checkpoint, v)
+}
+
+func (st *Store) storeCommitted(t *exec.Thread, v uint64) {
+	if st.cfg.Integrity {
+		durable.Word{Base: st.meta.CommittedHead}.Store(t, v, st.relaxed())
+		return
+	}
+	t.Store8(st.meta.CommittedHead, v)
+}
+
 // Write is one block update within a transaction.
 type Write struct {
 	// Block is the table index.
@@ -224,7 +286,7 @@ func (st *Store) Update(t *exec.Thread, writes []Write) uint64 {
 	st.lock.Acquire(t)
 	txn := t.Add8(st.txnSeq, 1)
 	head := t.Load8(st.headV)
-	ckpt := t.Load8(st.meta.Checkpoint)
+	ckpt := st.loadCheckpoint(t)
 	st.barrierInner(t)
 
 	// Make room before starting a new strand. Truncation must stay
@@ -234,7 +296,7 @@ func (st *Store) Update(t *exec.Thread, writes []Write) uint64 {
 	// discipline — which drops that barrier — is unsafe for this
 	// structure (the crash tests demonstrate it).
 	if head+need-ckpt > st.cfg.JournalBytes {
-		t.Store8(st.meta.Checkpoint, head)
+		st.storeCheckpoint(t, head)
 		st.barrierStage(t)
 	}
 
@@ -262,13 +324,21 @@ func (st *Store) Update(t *exec.Thread, writes []Write) uint64 {
 	}
 
 	// Stage 2: commit — a single word; strong persist atomicity
-	// serializes commits under every model.
-	t.Store8(st.meta.CommittedHead, head)
+	// serializes commits under every model. (In integrity mode the
+	// CDB flip plays that single-word role.)
+	st.storeCommitted(t, head)
 	st.barrierStage(t) // commit before in-place applies
 
-	// Stage 3: in-place applies (redone at recovery if torn).
+	// Stage 3: in-place applies (redone at recovery if torn). With
+	// integrity each apply refreshes the block's shadow checksum in the
+	// same epoch, so truncation retires a block's redo records only
+	// after both content and shadow are bound.
 	for _, w := range writes {
-		t.StoreBytes(st.meta.Table+memory.Addr(w.Block*BlockBytes), w.Data)
+		addr := st.meta.Table + memory.Addr(w.Block*BlockBytes)
+		t.StoreBytes(addr, w.Data)
+		if st.cfg.Integrity {
+			t.Store8(st.meta.BlockCRC+memory.Addr(w.Block*8), durable.Checksum(uint64(addr), w.Data))
+		}
 	}
 	st.barrierInner(t) // applies bound before the lock release exports
 
@@ -289,6 +359,15 @@ func (st *Store) appendRecord(t *exec.Thread, pos uint64, txn, blk uint64, data 
 		idx = 0
 	}
 	base := st.meta.Journal + memory.Addr(idx)
+	if st.cfg.Integrity {
+		// CRC64 frame bound to the ring offset: [len | txn blk data | crc].
+		payload := make([]byte, recordPayloadBytes)
+		binary.LittleEndian.PutUint64(payload[0:8], txn)
+		binary.LittleEndian.PutUint64(payload[8:16], blk)
+		copy(payload[16:], data)
+		durable.SealFrame(t, base, pos, payload)
+		return pos + recordBytes
+	}
 	t.Store8(base, kindData)
 	t.Store8(base+8, txn)
 	t.Store8(base+16, blk)

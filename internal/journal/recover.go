@@ -1,9 +1,11 @@
 package journal
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/memory"
 )
 
@@ -56,8 +58,23 @@ func Recover(im *memory.Image, meta Meta) (*State, error) {
 		st.Table[i] = b
 	}
 
-	committed := im.ReadWord(meta.CommittedHead)
-	pos := im.ReadWord(meta.Checkpoint)
+	var committed, pos uint64
+	if meta.Integrity {
+		// Strict recovery verifies clean crash states: any integrity
+		// detection in the pointer words is itself a violation here.
+		hr := durable.ReadWord(im, meta.CommittedHead)
+		cr := durable.ReadWord(im, meta.Checkpoint)
+		if !hr.OK || hr.Detected() {
+			return nil, &CorruptionError{Offset: 0, Reason: "committed-head word corrupt"}
+		}
+		if !cr.OK || cr.Detected() {
+			return nil, &CorruptionError{Offset: 0, Reason: "checkpoint word corrupt"}
+		}
+		committed, pos = hr.Val, cr.Val
+	} else {
+		committed = im.ReadWord(meta.CommittedHead)
+		pos = im.ReadWord(meta.Checkpoint)
+	}
 	if pos > committed {
 		return nil, &CorruptionError{Offset: pos, Reason: fmt.Sprintf("checkpoint %d beyond committed head %d", pos, committed)}
 	}
@@ -66,6 +83,7 @@ func Recover(im *memory.Image, meta Meta) (*State, error) {
 	}
 
 	txns := make(map[uint64]bool)
+	redone := make(map[uint64]bool)
 	for pos < committed {
 		idx := pos % meta.JournalBytes
 		base := meta.Journal + memory.Addr(idx)
@@ -74,18 +92,30 @@ func Recover(im *memory.Image, meta Meta) (*State, error) {
 			pos += meta.JournalBytes - idx
 			continue
 		}
-		if kind != kindData {
-			return nil, &CorruptionError{Offset: pos, Reason: fmt.Sprintf("bad record kind %#x below committed head", kind)}
-		}
 		if idx+recordBytes > meta.JournalBytes {
 			return nil, &CorruptionError{Offset: pos, Reason: "record straddles the ring end"}
 		}
-		txn := im.ReadWord(base + 8)
-		blk := im.ReadWord(base + 16)
-		data := make([]byte, BlockBytes)
-		im.ReadBytes(base+24, data)
-		if im.ReadWord(base+24+BlockBytes) != recordChecksum(pos, txn, blk, data) {
-			return nil, &CorruptionError{Offset: pos, Reason: "record checksum mismatch below committed head"}
+		var txn, blk uint64
+		var data []byte
+		if meta.Integrity {
+			payload, ok := durable.OpenFrame(im, base, pos, recordPayloadBytes)
+			if !ok || len(payload) != recordPayloadBytes {
+				return nil, &CorruptionError{Offset: pos, Reason: "record frame CRC mismatch below committed head"}
+			}
+			txn = binary.LittleEndian.Uint64(payload[0:8])
+			blk = binary.LittleEndian.Uint64(payload[8:16])
+			data = payload[16:]
+		} else {
+			if kind != kindData {
+				return nil, &CorruptionError{Offset: pos, Reason: fmt.Sprintf("bad record kind %#x below committed head", kind)}
+			}
+			txn = im.ReadWord(base + 8)
+			blk = im.ReadWord(base + 16)
+			data = make([]byte, BlockBytes)
+			im.ReadBytes(base+24, data)
+			if im.ReadWord(base+24+BlockBytes) != recordChecksum(pos, txn, blk, data) {
+				return nil, &CorruptionError{Offset: pos, Reason: "record checksum mismatch below committed head"}
+			}
 		}
 		if blk >= uint64(meta.Blocks) {
 			return nil, &CorruptionError{Offset: pos, Reason: fmt.Sprintf("record block %d out of range", blk)}
@@ -93,8 +123,43 @@ func Recover(im *memory.Image, meta Meta) (*State, error) {
 		copy(st.Table[blk], data)
 		st.Records++
 		txns[txn] = true
+		redone[blk] = true
 		pos += recordBytes
 	}
 	st.Txns = len(txns)
+	if meta.Integrity {
+		// Blocks outside the redo window must match their shadow
+		// checksums: their last apply and shadow write were both bound
+		// before the truncation that retired their records. (Blocks
+		// inside the window may be mid-apply; the redo above already
+		// restored them from verified records.)
+		for i := 0; i < meta.Blocks; i++ {
+			if redone[uint64(i)] {
+				continue
+			}
+			if shadowMismatch(im, meta, i) {
+				return nil, &CorruptionError{Offset: uint64(i), Reason: fmt.Sprintf("table block %d shadow checksum mismatch", i)}
+			}
+		}
+	}
 	return st, nil
+}
+
+// shadowMismatch reports whether table block i's in-place content
+// fails its shadow checksum. All-zero content with a zero shadow word
+// is the never-written initial state and passes.
+func shadowMismatch(im *memory.Image, meta Meta, i int) bool {
+	addr := meta.Table + memory.Addr(i*BlockBytes)
+	b := make([]byte, BlockBytes)
+	im.ReadBytes(addr, b)
+	shadow := im.ReadWord(meta.BlockCRC + memory.Addr(i*8))
+	if shadow == 0 {
+		for _, c := range b {
+			if c != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return shadow != durable.Checksum(uint64(addr), b)
 }

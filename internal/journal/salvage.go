@@ -1,8 +1,10 @@
 package journal
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/fault"
 	"repro/internal/memory"
 )
@@ -35,17 +37,34 @@ func RecoverSalvage(im *memory.Image, meta Meta) (*State, fault.RecoveryReport, 
 	}
 	rep.BytesScanned += uint64(meta.Blocks * BlockBytes)
 
-	committed := im.ReadWord(meta.CommittedHead)
-	ckpt := im.ReadWord(meta.Checkpoint)
-	if im.Poisoned(meta.CommittedHead) || im.Poisoned(meta.Checkpoint) {
-		if im.Poisoned(meta.CommittedHead) {
-			rep.PoisonedWords++
+	var committed, ckpt uint64
+	if meta.Integrity {
+		// Durable-word pointers: detections land in the report; a
+		// fallback read (older value) still anchors a safe redo — the
+		// window only shrinks, and shadow checksums cover what a
+		// regressed commit point leaves un-redone.
+		hr := durable.ReadWord(im, meta.CommittedHead)
+		cr := durable.ReadWord(im, meta.Checkpoint)
+		hr.Absorb(&rep, "committed-head")
+		cr.Absorb(&rep, "checkpoint")
+		committed, ckpt = hr.Val, cr.Val
+		if !hr.OK || !cr.OK {
+			rep.HeaderQuarantined = true
+			rep.Note("committed/checkpoint unrecoverable")
 		}
-		if im.Poisoned(meta.Checkpoint) {
-			rep.PoisonedWords++
+	} else {
+		committed = im.ReadWord(meta.CommittedHead)
+		ckpt = im.ReadWord(meta.Checkpoint)
+		if im.Poisoned(meta.CommittedHead) || im.Poisoned(meta.Checkpoint) {
+			if im.Poisoned(meta.CommittedHead) {
+				rep.PoisonedWords++
+			}
+			if im.Poisoned(meta.Checkpoint) {
+				rep.PoisonedWords++
+			}
+			rep.HeaderQuarantined = true
+			rep.Note("committed/checkpoint poisoned")
 		}
-		rep.HeaderQuarantined = true
-		rep.Note("committed/checkpoint poisoned")
 	}
 	// Both pointers advance in record-slot steps, so they stay
 	// word-aligned; a torn persist of either shows up as misalignment
@@ -62,6 +81,7 @@ func RecoverSalvage(im *memory.Image, meta Meta) (*State, fault.RecoveryReport, 
 	}
 
 	txns := make(map[uint64]bool)
+	redone := make(map[uint64]bool)
 	for pos := ckpt; pos < committed; {
 		idx := pos % meta.JournalBytes
 		base := meta.Journal + memory.Addr(idx)
@@ -96,6 +116,27 @@ func RecoverSalvage(im *memory.Image, meta Meta) (*State, fault.RecoveryReport, 
 			quarantine("unexpected wrap marker")
 			continue
 		}
+		if meta.Integrity {
+			payload, ok := durable.OpenFrame(im, base, pos, recordPayloadBytes)
+			if !ok || len(payload) != recordPayloadBytes {
+				rep.CRCDetected++
+				quarantine("frame CRC mismatch")
+				continue
+			}
+			txn := binary.LittleEndian.Uint64(payload[0:8])
+			blk := binary.LittleEndian.Uint64(payload[8:16])
+			if blk >= uint64(meta.Blocks) {
+				quarantine(fmt.Sprintf("block %d out of range", blk))
+				continue
+			}
+			copy(st.Table[blk], payload[16:])
+			redone[blk] = true
+			st.Records++
+			rep.Recovered++
+			txns[txn] = true
+			pos += recordBytes
+			continue
+		}
 		if kind != kindData {
 			quarantine(fmt.Sprintf("bad kind %#x", kind))
 			continue
@@ -116,8 +157,50 @@ func RecoverSalvage(im *memory.Image, meta Meta) (*State, fault.RecoveryReport, 
 		st.Records++
 		rep.Recovered++
 		txns[txn] = true
+		redone[blk] = true
 		pos += recordBytes
 	}
 	st.Txns = len(txns)
+	if meta.Integrity {
+		// Blocks outside the redo window: content and shadow were both
+		// bound before truncation retired their records, so a mismatch
+		// is detected media corruption (the redo above already restored
+		// every block the window covers).
+		for i := 0; i < meta.Blocks; i++ {
+			if redone[uint64(i)] || im.RangePoisoned(meta.Table+memory.Addr(i*BlockBytes), BlockBytes) {
+				continue
+			}
+			if shadowMismatch(im, meta, i) {
+				rep.CRCDetected++
+				rep.Quarantined++
+				rep.Note("table block %d shadow checksum mismatch", i)
+			}
+		}
+		// Detect-and-discard: count frames past the commit point that
+		// sealed fully before the crash — an uncommitted tail recovery
+		// deliberately leaves behind. Bounded by the ring; the scan
+		// stops at the first slot that fails to open at its offset
+		// (never-written space or a torn seal).
+		for pos := committed; pos < ckpt+meta.JournalBytes; {
+			idx := pos % meta.JournalBytes
+			base := meta.Journal + memory.Addr(idx)
+			if idx+recordBytes > meta.JournalBytes {
+				if im.Poisoned(base) || im.ReadWord(base) != wrapKind {
+					break
+				}
+				pos += meta.JournalBytes - idx
+				continue
+			}
+			if im.RangePoisoned(base, recordBytes) {
+				break
+			}
+			payload, ok := durable.OpenFrame(im, base, pos, recordPayloadBytes)
+			if !ok || len(payload) != recordPayloadBytes {
+				break
+			}
+			rep.DiscardedRecords++
+			pos += recordBytes
+		}
+	}
 	return st, rep, nil
 }

@@ -46,6 +46,12 @@ const (
 	// entries, poisoned media) and the recovered state satisfied the
 	// application's invariants for the surviving data.
 	Salvaged
+	// DetectedRecovered: the integrity layer (CRC frames,
+	// corruption-detecting booleans, shadow checksums; internal/durable)
+	// flagged injected corruption and recovery nonetheless returned a
+	// fully correct state — detect-and-recover, the corruption-detecting
+	// format's design goal.
+	DetectedRecovered
 	// SilentBitMissed: the scenario injected a silent bit flip that
 	// defeated the checksums — the one documented hole in the
 	// fail-stop guarantee (an 8-byte FNV keyed checksum is not ECC).
@@ -66,6 +72,8 @@ func (c Class) String() string {
 		return "masked"
 	case Salvaged:
 		return "salvaged"
+	case DetectedRecovered:
+		return "detected-recovered"
 	case SilentBitMissed:
 		return "silent-bit-missed"
 	case AnnotationCorrupt:
@@ -144,9 +152,17 @@ type CampaignOutcome struct {
 
 	Masked            int
 	Salvaged          int
+	DetectedRecovered int
 	SilentBitMissed   int
 	AnnotationCorrupt int
 	SilentCorrupt     int
+
+	// Integrity-layer detection totals summed over all scenarios'
+	// recovery reports (zero unless the workload runs with the
+	// corruption-detecting format).
+	CRCDetected      int
+	CDBDetected      int
+	DiscardedRecords int
 
 	// SilentBitSeen / SilentBitCaught give the silent-flip detection
 	// rate: scenarios whose plan carried a silent flip, and how many of
@@ -175,6 +191,10 @@ func (o CampaignOutcome) Clean() bool {
 func (o CampaignOutcome) String() string {
 	s := fmt.Sprintf("model %v: %d persists, %d scenarios: %d masked, %d salvaged",
 		o.Model, o.Persists, o.Scenarios, o.Masked, o.Salvaged)
+	if o.DetectedRecovered > 0 || o.CRCDetected > 0 || o.CDBDetected > 0 {
+		s += fmt.Sprintf(", %d detected-recovered (crc %d, cdb %d)",
+			o.DetectedRecovered, o.CRCDetected, o.CDBDetected)
+	}
 	if o.SilentBitSeen > 0 {
 		s += fmt.Sprintf(", silent bits %d/%d caught", o.SilentBitCaught, o.SilentBitSeen)
 	}
@@ -212,8 +232,9 @@ func effectivePlan(g *graph.Graph, c graph.Cut, p fault.Plan, maxRetries int) fa
 
 // classify runs one scenario: the fault-free baseline first (isolating
 // annotation bugs from device-fault handling bugs), then the faulted
-// image.
-func classify(g *graph.Graph, c graph.Cut, p fault.Plan, rec CheckedRecoverFunc, maxRetries int) (Class, error) {
+// image. It also returns the faulted image's recovery report so
+// campaigns can aggregate the integrity-layer detection counters.
+func classify(g *graph.Graph, c graph.Cut, p fault.Plan, rec CheckedRecoverFunc, maxRetries int) (Class, fault.RecoveryReport, error) {
 	baseRep, baseErr := rec(g.Materialize(c))
 	if baseErr != nil || baseRep.Detected() {
 		// The cut itself — no faults — fails or trips the salvage
@@ -222,21 +243,23 @@ func classify(g *graph.Graph, c graph.Cut, p fault.Plan, rec CheckedRecoverFunc,
 		if baseErr == nil {
 			baseErr = fmt.Errorf("fault-free baseline not clean: %s", baseRep.String())
 		}
-		return AnnotationCorrupt, baseErr
+		return AnnotationCorrupt, baseRep, baseErr
 	}
 	rep, err := rec(fault.Materialize(g, c, effectivePlan(g, c, p, maxRetries)))
 	switch {
 	case err == nil && !rep.Detected():
-		return Masked, nil
+		return Masked, rep, nil
+	case err == nil && rep.DetectedByIntegrity():
+		return DetectedRecovered, rep, nil
 	case rep.Detected():
-		return Salvaged, err
+		return Salvaged, rep, err
 	case p.HasSilentFlip():
-		return SilentBitMissed, err
+		return SilentBitMissed, rep, err
 	default:
 		if err == nil {
 			err = fmt.Errorf("undetected corruption")
 		}
-		return SilentCorrupt, err
+		return SilentCorrupt, rep, err
 	}
 }
 
@@ -292,6 +315,7 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 	// the tallies, progress sequence, and first failure deterministic.
 	type verdict struct {
 		class   Class
+		rep     fault.RecoveryReport
 		cerr    error
 		res     nvram.Result
 		haveRes bool
@@ -299,8 +323,8 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 	firstIdx := -1
 	err = sweep.Run(cfg.Scenarios, cfg.Sweep.Named("campaign"),
 		func(i int) (verdict, error) {
-			class, cerr := classify(g, scens[i].c, scens[i].plan, rec, maxRetries)
-			v := verdict{class: class, cerr: cerr}
+			class, rep, cerr := classify(g, scens[i].c, scens[i].plan, rec, maxRetries)
+			v := verdict{class: class, rep: rep, cerr: cerr}
 			if cfg.Device.Latency > 0 {
 				if prof := scens[i].plan.RetryProfile(); len(prof) > 0 {
 					res, serr := nvram.ScheduleWithFaults(g, cfg.Device, prof)
@@ -316,15 +340,20 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 			out.Scenarios++
 			if scens[i].plan.HasSilentFlip() {
 				out.SilentBitSeen++
-				if v.class == Salvaged {
+				if v.class == Salvaged || v.class == DetectedRecovered {
 					out.SilentBitCaught++
 				}
 			}
+			out.CRCDetected += v.rep.CRCDetected
+			out.CDBDetected += v.rep.CDBDetected
+			out.DiscardedRecords += v.rep.DiscardedRecords
 			switch v.class {
 			case Masked:
 				out.Masked++
 			case Salvaged:
 				out.Salvaged++
+			case DetectedRecovered:
+				out.DetectedRecovered++
 			case SilentBitMissed:
 				out.SilentBitMissed++
 			case AnnotationCorrupt:
@@ -365,7 +394,7 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 		}
 		if cfg.MinimizeBudget > 0 {
 			mc, mp = MinimizeScenario(g, mc, mp, func(c2 graph.Cut, p2 fault.Plan) bool {
-				cl, _ := classify(g, c2, p2, rec, maxRetries)
+				cl, _, _ := classify(g, c2, p2, rec, maxRetries)
 				return cl == class
 			}, cfg.MinimizeBudget)
 		}
@@ -443,5 +472,6 @@ func Replay(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, s *fault.Sce
 
 // ReplayOnGraph is Replay against an already-built graph.
 func ReplayOnGraph(g *graph.Graph, rec CheckedRecoverFunc, s *fault.Scenario, dev nvram.Config) (Class, error) {
-	return classify(g, s.Cut, s.Plan, rec, dev.MaxRetries)
+	class, _, err := classify(g, s.Cut, s.Plan, rec, dev.MaxRetries)
+	return class, err
 }

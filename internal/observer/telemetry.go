@@ -21,6 +21,7 @@ func ObserveCampaign(reg *telemetry.Registry, label string, out CampaignOutcome)
 	}{
 		{"masked", out.Masked},
 		{"salvaged", out.Salvaged},
+		{"detected-recovered", out.DetectedRecovered},
 		{"silent-bit-missed", out.SilentBitMissed},
 		{"annotation-corrupt", out.AnnotationCorrupt},
 		{"silent-corrupt", out.SilentCorrupt},

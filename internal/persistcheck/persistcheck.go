@@ -110,6 +110,15 @@ type Region struct {
 type Annotations struct {
 	Pubs       []Publication
 	OrderAfter []Region
+	// Protected lists the extents whose contents are covered by an
+	// integrity mechanism (CRC frame, shadow checksum, dual-copy durable
+	// word) so recovery *detects* silent media corruption there instead
+	// of trusting it. The unprotected-metadata lint flags declared
+	// recovery metadata (publication words, order-after regions) falling
+	// outside every Protected extent: such a word is a single point of
+	// silent failure — one bit flip re-frames the structure with a clean
+	// report.
+	Protected []Extent
 }
 
 // Merge combines annotation sets (for workloads composing structures).
@@ -117,6 +126,7 @@ func (a Annotations) Merge(b Annotations) Annotations {
 	return Annotations{
 		Pubs:       append(append([]Publication{}, a.Pubs...), b.Pubs...),
 		OrderAfter: append(append([]Region{}, a.OrderAfter...), b.OrderAfter...),
+		Protected:  append(append([]Extent{}, a.Protected...), b.Protected...),
 	}
 }
 
@@ -166,6 +176,7 @@ func Check(tr *trace.Trace, p core.Params, ann Annotations, cfg Config) (*Report
 	checkEscapes(tr, g, idx, p, ann, cfg, r)
 	checkEpochRaces(tr, g, idx, p, cfg, r)
 	checkBarriers(tr, p, barriers, cfg, r)
+	checkUnprotected(g, idx, ann, cfg, r)
 
 	return r, nil
 }

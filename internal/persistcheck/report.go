@@ -23,6 +23,12 @@ const (
 	// UnboundRead: an order-critical persistent load whose dependence is
 	// not bound (or was discarded) before the thread's next persist.
 	UnboundRead
+	// UnprotectedMetadata: declared recovery metadata (a publication
+	// word or order-after region) not covered by any Protected extent —
+	// no CRC frame, shadow checksum, or durable word guards it, so one
+	// silent bit flip there re-frames the structure with a clean
+	// recovery report.
+	UnprotectedMetadata
 )
 
 // String returns the analysis name used in reports and metrics.
@@ -36,6 +42,8 @@ func (k Kind) String() string {
 		return "redundant-barrier"
 	case UnboundRead:
 		return "unbound-read"
+	case UnprotectedMetadata:
+		return "unprotected-metadata"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -52,14 +60,25 @@ const (
 	// Perf findings describe pure execution cost with no correctness
 	// impact (redundant barriers).
 	Perf
+	// Robustness findings describe exposure to *media* faults rather
+	// than ordering bugs: the persistency annotations are sound, but a
+	// silent bit error in the flagged metadata would go undetected.
+	// Separate from Hazard so the ordering-correctness gates stay
+	// meaningful on the plain (non-integrity) formats; opt into failing
+	// on these with `persistcheck -require-integrity`.
+	Robustness
 )
 
 // String returns the severity name.
 func (s Severity) String() string {
-	if s == Perf {
+	switch s {
+	case Perf:
 		return "perf"
+	case Robustness:
+		return "robustness"
+	default:
+		return "hazard"
 	}
-	return "hazard"
 }
 
 // Finding is one checker result.
@@ -158,25 +177,41 @@ func (r *Report) PerfFindings() int {
 	return n
 }
 
-func kindSeverity(k Kind) Severity {
-	if k == RedundantBarrier {
-		return Perf
+// RobustnessFindings returns the number of robustness-severity
+// findings (unprotected recovery metadata).
+func (r *Report) RobustnessFindings() int {
+	n := 0
+	for k, c := range r.Counts {
+		if kindSeverity(k) == Robustness {
+			n += c
+		}
 	}
-	return Hazard
+	return n
+}
+
+func kindSeverity(k Kind) Severity {
+	switch k {
+	case RedundantBarrier:
+		return Perf
+	case UnprotectedMetadata:
+		return Robustness
+	default:
+		return Hazard
+	}
 }
 
 // String renders the full report.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "persistcheck: model=%s events=%d persists=%d hazards=%d perf=%d\n",
-		r.Model, r.Events, r.Persists, r.Hazards(), r.PerfFindings())
+	fmt.Fprintf(&b, "persistcheck: model=%s events=%d persists=%d hazards=%d perf=%d robustness=%d\n",
+		r.Model, r.Events, r.Persists, r.Hazards(), r.PerfFindings(), r.RobustnessFindings())
 	for _, s := range r.Skipped {
 		fmt.Fprintf(&b, "  (skipped: %s)\n", s)
 	}
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "  %s\n", strings.ReplaceAll(f.String(), "\n", "\n  "))
 	}
-	for _, k := range []Kind{EpochRace, UnpersistedPublication, RedundantBarrier, UnboundRead} {
+	for _, k := range []Kind{EpochRace, UnpersistedPublication, RedundantBarrier, UnboundRead, UnprotectedMetadata} {
 		if dropped := r.Counts[k] - r.stored[k]; dropped > 0 {
 			fmt.Fprintf(&b, "  ... %d more %s finding(s) not shown\n", dropped, k)
 		}

@@ -1,6 +1,7 @@
 package pstm
 
 import (
+	"repro/internal/durable"
 	"repro/internal/memory"
 	"repro/internal/persistcheck"
 )
@@ -29,46 +30,88 @@ import (
 // persists must stay ordered after the seal the thread observed (the
 // strand recipe in Atomic).
 func (m Meta) Checks() persistcheck.Annotations {
+	if !m.Integrity {
+		return persistcheck.Annotations{
+			Pubs: []persistcheck.Publication{{
+				Name: "done",
+				Word: m.Done,
+				Data: []persistcheck.Extent{
+					{Addr: m.Data, Size: uint64(m.Words) * 8},
+					{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
+					{Addr: m.TxnID, Size: 8},
+				},
+			}, {
+				Name: "arm",
+				Word: m.TxnID,
+				Data: []persistcheck.Extent{
+					{Addr: m.Data, Size: uint64(m.Words) * 8},
+					{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
+					{Addr: m.Done, Size: 8},
+				},
+				AllThreads: true,
+			}},
+			OrderAfter: []persistcheck.Region{{
+				Name: "done",
+				Addr: m.Done,
+				Size: 8,
+			}},
+		}
+	}
+	// Integrity layout: both control words are dual-copy durable words
+	// whose copies inherit the publication obligation, and the scopes
+	// widen to the shadow array — recovery trusts a sealed state only
+	// because each in-place update bound its shadow alongside it.
+	// Everything recovery reads is declared Protected.
+	aw := durable.Word{Base: m.TxnID}
+	dw := durable.Word{Base: m.Done}
+	pubs := dw.Checks("done", []persistcheck.Extent{
+		{Addr: m.Data, Size: uint64(m.Words) * 8},
+		{Addr: m.ShadowCRC, Size: uint64(m.Words) * 8},
+		{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
+		aw.Extent(),
+	}, false, false)
+	pubs = append(pubs, aw.Checks("arm", []persistcheck.Extent{
+		{Addr: m.Data, Size: uint64(m.Words) * 8},
+		{Addr: m.ShadowCRC, Size: uint64(m.Words) * 8},
+		{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
+		dw.Extent(),
+	}, false, true)...)
 	return persistcheck.Annotations{
-		Pubs: []persistcheck.Publication{{
-			Name: "done",
-			Word: m.Done,
-			Data: []persistcheck.Extent{
-				{Addr: m.Data, Size: uint64(m.Words) * 8},
-				{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
-				{Addr: m.TxnID, Size: 8},
-			},
-		}, {
-			Name: "arm",
-			Word: m.TxnID,
-			Data: []persistcheck.Extent{
-				{Addr: m.Data, Size: uint64(m.Words) * 8},
-				{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
-				{Addr: m.Done, Size: 8},
-			},
-			AllThreads: true,
-		}},
+		Pubs: pubs,
 		OrderAfter: []persistcheck.Region{{
 			Name: "done",
 			Addr: m.Done,
 			Size: 8,
 		}},
+		Protected: []persistcheck.Extent{
+			aw.Extent(),
+			dw.Extent(),
+			{Addr: m.Data, Size: uint64(m.Words) * 8},
+			{Addr: m.ShadowCRC, Size: uint64(m.Words) * 8},
+			{Addr: m.Undo, Size: uint64(m.UndoCap) * recordBytes},
+		},
 	}
 }
 
 // SiteLabel maps persist addresses to the heap's annotation sites,
 // following the telemetry attribution convention.
 func (m Meta) SiteLabel() func(memory.Addr) string {
+	ptrSpan := memory.Addr(8)
+	if m.Integrity {
+		ptrSpan = durable.WordBytes
+	}
 	return func(a memory.Addr) string {
 		switch {
 		case a >= m.Data && a < m.Data+memory.Addr(m.Words*8):
 			return "data"
 		case a >= m.Undo && a < m.Undo+memory.Addr(uint64(m.UndoCap)*recordBytes):
 			return "undo"
-		case a >= m.TxnID && a < m.TxnID+8:
+		case a >= m.TxnID && a < m.TxnID+ptrSpan:
 			return "txn-id"
-		case a >= m.Done && a < m.Done+8:
+		case a >= m.Done && a < m.Done+ptrSpan:
 			return "done"
+		case m.Integrity && a >= m.ShadowCRC && a < m.ShadowCRC+memory.Addr(m.Words*8):
+			return "shadow-crc"
 		default:
 			return "other"
 		}

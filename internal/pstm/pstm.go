@@ -26,8 +26,10 @@
 package pstm
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/exec"
 	"repro/internal/locks"
 	"repro/internal/memory"
@@ -70,9 +72,42 @@ var Policies = []Policy{PolicyStrict, PolicyEpoch, PolicyRacingEpoch, PolicyStra
 
 const (
 	// recordBytes is one undo slot: word index, old value, checksum,
-	// padded to half a line.
+	// padded to half a line. The integrity format reuses the same slot
+	// size: an 8-byte length word, the 16-byte (index, old) payload, and
+	// a CRC64 trailer bound to the transaction id and slot.
 	recordBytes = 32
+	// recordPayloadBytes is the framed undo payload: word index and old
+	// value, little-endian.
+	recordPayloadBytes = 16
 )
+
+// recSalt binds an integrity undo frame to its transaction and slot,
+// the same role recChecksum's (txn, slot) inputs play for the legacy
+// format: a stale record from an earlier transaction in a reused slot
+// fails to open.
+func recSalt(txn uint64, slot int) uint64 {
+	return durable.ChecksumWord(txn, uint64(slot))
+}
+
+// The legacy format finds the arming frontier by scanning for the
+// first record that fails its checksum — which makes a bit flip in the
+// armed transaction's newest record indistinguishable from the
+// frontier, the documented silent-corruption hole. The integrity
+// format closes it by making the frontier explicit: the armed durable
+// word carries the record count alongside the id, advanced only after
+// each record's frame is bound and before its in-place update. Any
+// frame below the count that fails to open is then detected
+// corruption, never a frontier.
+const armCountBits = 16
+
+// armedVal packs a transaction id and its sealed-record count into the
+// armed word's integrity encoding.
+func armedVal(id uint64, n int) uint64 { return id<<armCountBits | uint64(n) }
+
+// armedSplit undoes armedVal.
+func armedSplit(v uint64) (id uint64, n int) {
+	return v >> armCountBits, int(v & (1<<armCountBits - 1))
+}
 
 // Config parameterizes a Heap.
 type Config struct {
@@ -82,6 +117,14 @@ type Config struct {
 	UndoCap int
 	// Policy selects annotations.
 	Policy Policy
+	// Integrity enables the corruption-detecting durable format
+	// (internal/durable): the arm and seal words become dual-copy
+	// durable words behind corruption-detecting booleans, undo records
+	// are CRC64-framed, and every data word keeps a shadow checksum.
+	// Costs extra persists per transaction; recovery then detects (and
+	// where possible rides out) silent media corruption instead of
+	// trusting it.
+	Integrity bool
 }
 
 // Meta locates the persistent structures for recovery.
@@ -89,13 +132,20 @@ type Meta struct {
 	Data  memory.Addr
 	Words int
 	// TxnID is the persistent word holding the armed transaction id.
+	// With Integrity it is the base of a durable.Word (40 bytes).
 	TxnID memory.Addr
 	// Done is the persistent seal: holds the id of the last committed
-	// transaction.
+	// transaction. With Integrity it is a durable.Word base.
 	Done memory.Addr
 	// Undo is the undo record array.
 	Undo    memory.Addr
 	UndoCap int
+	// Integrity mirrors Config.Integrity for recovery.
+	Integrity bool
+	// ShadowCRC is the per-data-word shadow checksum array (Integrity
+	// only): word i's checksum, salted with its address, lives at
+	// ShadowCRC + i*8 and is written alongside every in-place store.
+	ShadowCRC memory.Addr
 }
 
 // Heap is a durable-transactional array of words.
@@ -115,17 +165,34 @@ func New(s *exec.Thread, cfg Config) (*Heap, error) {
 	if cfg.UndoCap <= 0 {
 		cfg.UndoCap = 16
 	}
-	h := &Heap{cfg: cfg}
-	h.meta = Meta{
-		Data:    s.MallocPersistent(cfg.Words*8, 64),
-		Words:   cfg.Words,
-		TxnID:   s.MallocPersistent(8, 64),
-		Done:    s.MallocPersistent(8, 64),
-		Undo:    s.MallocPersistent(cfg.UndoCap*recordBytes, 64),
-		UndoCap: cfg.UndoCap,
+	if cfg.Integrity && cfg.UndoCap >= 1<<armCountBits {
+		return nil, fmt.Errorf("pstm: UndoCap %d exceeds the armed word's count field", cfg.UndoCap)
 	}
-	s.Store8(h.meta.TxnID, 0)
-	s.Store8(h.meta.Done, 0)
+	h := &Heap{cfg: cfg}
+	ptrBytes := int(memory.WordSize)
+	if cfg.Integrity {
+		ptrBytes = durable.WordBytes
+	}
+	h.meta = Meta{
+		Data:      s.MallocPersistent(cfg.Words*8, 64),
+		Words:     cfg.Words,
+		TxnID:     s.MallocPersistent(ptrBytes, 64),
+		Done:      s.MallocPersistent(ptrBytes, 64),
+		Undo:      s.MallocPersistent(cfg.UndoCap*recordBytes, 64),
+		UndoCap:   cfg.UndoCap,
+		Integrity: cfg.Integrity,
+	}
+	if cfg.Integrity {
+		// Shadow checksums come last so the earlier offsets match the
+		// plain layout. Zero shadows over zero data words are the valid
+		// never-written initial state, so no seeding is needed.
+		h.meta.ShadowCRC = s.MallocPersistent(cfg.Words*8, 64)
+		durable.Word{Base: h.meta.TxnID}.Init(s, 0)
+		durable.Word{Base: h.meta.Done}.Init(s, 0)
+	} else {
+		s.Store8(h.meta.TxnID, 0)
+		s.Store8(h.meta.Done, 0)
+	}
 	s.PersistBarrier()
 	h.lock = locks.NewMCS(s)
 	h.seqV = s.MallocVolatile(8, 64)
@@ -144,6 +211,35 @@ func MustNew(s *exec.Thread, cfg Config) *Heap {
 
 // Meta returns the persistent layout for recovery.
 func (h *Heap) Meta() Meta { return h.meta }
+
+func (h *Heap) relaxed() bool { return h.cfg.Policy != PolicyStrict }
+
+func (h *Heap) storeTxnID(t *exec.Thread, v uint64) {
+	if h.cfg.Integrity {
+		durable.Word{Base: h.meta.TxnID}.Store(t, v, h.relaxed())
+		return
+	}
+	t.Store8(h.meta.TxnID, v)
+}
+
+func (h *Heap) storeDone(t *exec.Thread, v uint64) {
+	if h.cfg.Integrity {
+		durable.Word{Base: h.meta.Done}.Store(t, v, h.relaxed())
+		return
+	}
+	t.Store8(h.meta.Done, v)
+}
+
+// storeData writes data word i in place, keeping its shadow checksum
+// current under the integrity format. Both stores sit between the same
+// barriers, so wherever the in-place update is bound, so is its shadow.
+func (h *Heap) storeData(t *exec.Thread, i uint64, v uint64) {
+	a := h.meta.Data + memory.Addr(i*8)
+	t.Store8(a, v)
+	if h.cfg.Integrity {
+		t.Store8(h.meta.ShadowCRC+memory.Addr(i*8), durable.ChecksumWord(uint64(a), v))
+	}
+}
 
 func (h *Heap) barrierOuter(t *exec.Thread) {
 	if h.cfg.Policy != PolicyStrict {
@@ -189,16 +285,30 @@ func (tx *Tx) Store(i int, v uint64) {
 		}
 		old := tx.t.Load8(tx.h.meta.Data + memory.Addr(i*8))
 		rec := tx.h.meta.Undo + memory.Addr(tx.n*recordBytes)
-		tx.t.Store8(rec, uint64(i))
-		tx.t.Store8(rec+8, old)
-		tx.t.Store8(rec+16, recChecksum(tx.id, tx.n, uint64(i), old))
+		if tx.h.cfg.Integrity {
+			var payload [recordPayloadBytes]byte
+			binary.LittleEndian.PutUint64(payload[0:8], uint64(i))
+			binary.LittleEndian.PutUint64(payload[8:16], old)
+			durable.SealFrame(tx.t, rec, recSalt(tx.id, tx.n), payload[:])
+		} else {
+			tx.t.Store8(rec, uint64(i))
+			tx.t.Store8(rec+8, old)
+			tx.t.Store8(rec+16, recChecksum(tx.id, tx.n, uint64(i), old))
+		}
 		// The record must persist before the in-place update it makes
 		// undoable.
 		tx.h.barrierStage(tx.t)
 		tx.written[i] = true
 		tx.n++
+		if tx.h.cfg.Integrity {
+			// Advance the explicit frontier: the count moves only after
+			// the record is bound and before the in-place update it
+			// covers, so recovery never has to guess where records end.
+			tx.h.storeTxnID(tx.t, armedVal(tx.id, tx.n))
+			tx.h.barrierStage(tx.t)
+		}
 	}
-	tx.t.Store8(tx.h.meta.Data+memory.Addr(i*8), v)
+	tx.h.storeData(tx.t, uint64(i), v)
 }
 
 // Abort rolls the transaction back in place and marks it aborted; the
@@ -231,7 +341,11 @@ func (h *Heap) Atomic(t *exec.Thread, fn func(tx *Tx)) bool {
 	}
 
 	// Arm: the transaction id validates this transaction's records.
-	t.Store8(h.meta.TxnID, id)
+	armID := id
+	if h.cfg.Integrity {
+		armID = armedVal(id, 0)
+	}
+	h.storeTxnID(t, armID)
 	h.barrierStage(t) // arm before records and updates
 
 	tx := &Tx{h: h, t: t, id: id, written: make(map[int]bool)}
@@ -241,15 +355,23 @@ func (h *Heap) Atomic(t *exec.Thread, fn func(tx *Tx)) bool {
 		// Roll back in place (reverse order; each word recorded once).
 		for k := tx.n - 1; k >= 0; k-- {
 			rec := h.meta.Undo + memory.Addr(k*recordBytes)
-			w := t.Load8(rec)
-			old := t.Load8(rec + 8)
-			t.Store8(h.meta.Data+memory.Addr(w*8), old)
+			var w, old uint64
+			if h.cfg.Integrity {
+				// Framed slot: payload [index, old] starts after the
+				// length word.
+				w = t.Load8(rec + 8)
+				old = t.Load8(rec + 16)
+			} else {
+				w = t.Load8(rec)
+				old = t.Load8(rec + 8)
+			}
+			h.storeData(t, w, old)
 		}
 	}
 	// Updates (or the rollback) must persist before the seal declares
 	// the transaction finished.
 	h.barrierStage(t)
-	t.Store8(h.meta.Done, id) // commit point: single-word seal
+	h.storeDone(t, id) // commit point: single-word seal
 	h.barrierInner(t)
 	h.lock.Release(t)
 	h.barrierOuter(t)

@@ -1,8 +1,10 @@
 package pstm
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/fault"
 	"repro/internal/memory"
 )
@@ -19,34 +21,60 @@ import (
 // best-effort), while invalid slots beyond the last valid one are the
 // normal arming frontier. In clean states the two scans agree exactly,
 // so salvage reports are clean wherever Recover succeeds.
+//
+// Under the integrity format the arm and seal are durable words
+// (detections land in the report), records are CRC64 frames, and every
+// untouched data word is checked against its shadow checksum — a
+// silent flip anywhere recovery trusts is detected rather than served.
 func RecoverSalvage(im *memory.Image, meta Meta) (*State, fault.RecoveryReport, error) {
 	var rep fault.RecoveryReport
 	if meta.Words <= 0 || meta.UndoCap <= 0 {
 		return nil, rep, fmt.Errorf("pstm: bad recovery metadata")
 	}
 	st := &State{Words: make([]uint64, meta.Words)}
+	dataPoisoned := make([]bool, meta.Words)
 	for i := 0; i < meta.Words; i++ {
 		a := meta.Data + memory.Addr(i*8)
 		st.Words[i] = im.ReadWord(a)
 		if im.Poisoned(a) {
 			rep.PoisonedWords++
+			dataPoisoned[i] = true
 			rep.Note("data word %d poisoned", i)
 		}
 	}
 	rep.BytesScanned += uint64(meta.Words) * memory.WordSize
 
-	armed := im.ReadWord(meta.TxnID)
-	done := im.ReadWord(meta.Done)
-	rep.BytesScanned += 2 * memory.WordSize
-	if im.Poisoned(meta.TxnID) || im.Poisoned(meta.Done) {
-		if im.Poisoned(meta.TxnID) {
-			rep.PoisonedWords++
+	var armed, done uint64
+	count := -1 // integrity: explicit record count; legacy: scan frontier
+	if meta.Integrity {
+		ar := durable.ReadWord(im, meta.TxnID)
+		dr := durable.ReadWord(im, meta.Done)
+		ar.Absorb(&rep, "armed")
+		dr.Absorb(&rep, "seal")
+		armed, count = armedSplit(ar.Val)
+		done = dr.Val
+		if !ar.OK || !dr.OK {
+			rep.HeaderQuarantined = true
+			rep.Note("armed/seal words unrecoverable")
 		}
-		if im.Poisoned(meta.Done) {
-			rep.PoisonedWords++
+		if count > meta.UndoCap {
+			rep.HeaderQuarantined = true
+			rep.Note("record count %d exceeds undo capacity %d", count, meta.UndoCap)
 		}
-		rep.HeaderQuarantined = true
-		rep.Note("armed/seal words poisoned")
+	} else {
+		armed = im.ReadWord(meta.TxnID)
+		done = im.ReadWord(meta.Done)
+		rep.BytesScanned += 2 * memory.WordSize
+		if im.Poisoned(meta.TxnID) || im.Poisoned(meta.Done) {
+			if im.Poisoned(meta.TxnID) {
+				rep.PoisonedWords++
+			}
+			if im.Poisoned(meta.Done) {
+				rep.PoisonedWords++
+			}
+			rep.HeaderQuarantined = true
+			rep.Note("armed/seal words poisoned")
+		}
 	}
 	if done > armed {
 		rep.HeaderQuarantined = true
@@ -57,62 +85,140 @@ func RecoverSalvage(im *memory.Image, meta Meta) (*State, fault.RecoveryReport, 
 		// words are returned as-is, disclosed as degraded.
 		return st, rep, nil
 	}
-	if armed == 0 || done == armed {
-		return st, rep, nil // nothing in flight, or it committed
-	}
 
-	// Transaction `armed` is unsealed: collect every slot that
-	// validates against it.
+	rolledBack := make([]bool, meta.Words)
 	type undoRec struct {
 		word, old uint64
 	}
-	valid := make([]bool, meta.UndoCap)
-	recs := make([]undoRec, meta.UndoCap)
-	poisoned := make([]bool, meta.UndoCap)
-	last := -1
-	for k := 0; k < meta.UndoCap; k++ {
-		base := meta.Undo + memory.Addr(k*recordBytes)
-		rep.BytesScanned += recordBytes
-		if im.RangePoisoned(base, 24) {
-			rep.PoisonedWords++
-			poisoned[k] = true
-			continue
-		}
-		w := im.ReadWord(base)
-		old := im.ReadWord(base + 8)
-		if im.ReadWord(base+16) != recChecksum(armed, k, w, old) {
-			continue
-		}
-		if w >= uint64(meta.Words) {
-			// A validating checksum over an out-of-range target is
-			// corruption beyond doubt, not a frontier.
-			rep.Quarantined++
-			rep.Note("undo record %d targets word %d out of range", k, w)
-			continue
-		}
-		valid[k], recs[k] = true, undoRec{w, old}
-		last = k
-	}
-	// Slots at or below the last valid one that failed to validate are
-	// torn/rotted records of the armed transaction.
-	for k := 0; k < last; k++ {
-		if !valid[k] {
-			rep.Quarantined++
-			if poisoned[k] {
+	if meta.Integrity && armed != 0 && done != armed {
+		// The armed word's count says exactly how many records exist, so
+		// there is no frontier to guess: every slot below it either
+		// opens (rolled back) or is detected corruption (rollback
+		// incomplete, disclosed).
+		valid := make([]bool, count)
+		recs := make([]undoRec, count)
+		for k := 0; k < count; k++ {
+			base := meta.Undo + memory.Addr(k*recordBytes)
+			rep.BytesScanned += recordBytes
+			if im.RangePoisoned(base, recordBytes) {
+				rep.PoisonedWords++
+				rep.Quarantined++
 				rep.Note("undo record %d poisoned; rollback incomplete", k)
-			} else {
-				rep.Note("undo record %d torn; rollback incomplete", k)
+				continue
+			}
+			payload, ok := durable.OpenFrame(im, base, recSalt(armed, k), recordPayloadBytes)
+			if !ok || len(payload) != recordPayloadBytes {
+				rep.CRCDetected++
+				rep.Quarantined++
+				rep.Note("undo record %d frame CRC mismatch; rollback incomplete", k)
+				continue
+			}
+			w := binary.LittleEndian.Uint64(payload[0:8])
+			old := binary.LittleEndian.Uint64(payload[8:16])
+			if w >= uint64(meta.Words) {
+				rep.Quarantined++
+				rep.Note("undo record %d targets word %d out of range", k, w)
+				continue
+			}
+			valid[k], recs[k] = true, undoRec{w, old}
+		}
+		for k := count - 1; k >= 0; k-- {
+			if valid[k] {
+				st.Words[recs[k].word] = recs[k].old
+				rolledBack[recs[k].word] = true
+				st.Undone++
+				rep.Recovered++
+			}
+		}
+		st.RolledBack = st.Undone > 0
+	} else if armed != 0 && done != armed {
+		// Transaction `armed` is unsealed: collect every slot that
+		// validates against it.
+		valid := make([]bool, meta.UndoCap)
+		recs := make([]undoRec, meta.UndoCap)
+		poisoned := make([]bool, meta.UndoCap)
+		last := -1
+		for k := 0; k < meta.UndoCap; k++ {
+			base := meta.Undo + memory.Addr(k*recordBytes)
+			rep.BytesScanned += recordBytes
+			if im.RangePoisoned(base, 24) {
+				rep.PoisonedWords++
+				poisoned[k] = true
+				continue
+			}
+			w := im.ReadWord(base)
+			old := im.ReadWord(base + 8)
+			if im.ReadWord(base+16) != recChecksum(armed, k, w, old) {
+				continue
+			}
+			if w >= uint64(meta.Words) {
+				// A validating checksum over an out-of-range target is
+				// corruption beyond doubt, not a frontier.
+				rep.Quarantined++
+				rep.Note("undo record %d targets word %d out of range", k, w)
+				continue
+			}
+			valid[k], recs[k] = true, undoRec{w, old}
+			last = k
+		}
+		// Slots at or below the last valid one that failed to validate
+		// are torn/rotted records of the armed transaction.
+		for k := 0; k < last; k++ {
+			if !valid[k] {
+				rep.Quarantined++
+				if poisoned[k] {
+					rep.Note("undo record %d poisoned; rollback incomplete", k)
+				} else {
+					rep.Note("undo record %d torn; rollback incomplete", k)
+				}
+			}
+		}
+		// Best-effort rollback, newest first.
+		for k := last; k >= 0; k-- {
+			if valid[k] {
+				st.Words[recs[k].word] = recs[k].old
+				rolledBack[recs[k].word] = true
+				st.Undone++
+				rep.Recovered++
+			}
+		}
+		st.RolledBack = st.Undone > 0
+	}
+
+	if meta.Integrity {
+		// Shadow checksums: every word the in-flight transaction did not
+		// roll back must match (rolled-back words were restored from
+		// verified frames; poisoned words are already disclosed).
+		rep.BytesScanned += uint64(meta.Words) * memory.WordSize
+		for i := 0; i < meta.Words; i++ {
+			if rolledBack[i] || dataPoisoned[i] {
+				continue
+			}
+			if im.Poisoned(meta.ShadowCRC + memory.Addr(i*8)) {
+				rep.PoisonedWords++
+				rep.Note("shadow word %d poisoned", i)
+				continue
+			}
+			if shadowMismatch(im, meta, i) {
+				rep.CRCDetected++
+				rep.Quarantined++
+				rep.Note("data word %d shadow checksum mismatch", i)
+			}
+		}
+		// Detect-and-discard: a sealed transaction's undo records stay
+		// behind in their slots — recovery deliberately ignores them.
+		if armed != 0 && done == armed {
+			for k := 0; k < count; k++ {
+				base := meta.Undo + memory.Addr(k*recordBytes)
+				if im.RangePoisoned(base, recordBytes) {
+					break
+				}
+				if _, ok := durable.OpenFrame(im, base, recSalt(armed, k), recordPayloadBytes); !ok {
+					break
+				}
+				rep.DiscardedRecords++
 			}
 		}
 	}
-	// Best-effort rollback, newest first.
-	for k := last; k >= 0; k-- {
-		if valid[k] {
-			st.Words[recs[k].word] = recs[k].old
-			st.Undone++
-			rep.Recovered++
-		}
-	}
-	st.RolledBack = st.Undone > 0
 	return st, rep, nil
 }

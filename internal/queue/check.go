@@ -1,6 +1,9 @@
 package queue
 
-import "repro/internal/persistcheck"
+import (
+	"repro/internal/durable"
+	"repro/internal/persistcheck"
+)
 
 // Checks declares the queue's recovery-critical metadata for the
 // persistency checker (internal/persistcheck).
@@ -13,18 +16,43 @@ import "repro/internal/persistcheck"
 // region: an insert reuses slots freed by a tail advance, so its
 // persists must stay ordered after the tail persist it observed (the
 // strand recipe in strandOrderingRead exists for exactly this).
+//
+// With integrity on, the pointers are dual-copy durable words: both
+// value copies inherit the head's publication obligation, the CDB flip
+// is itself a publication over the copies it activates, and the whole
+// metadata footprint (plus the CRC-framed data segment) is declared
+// Protected — the unprotected-metadata lint flags the plain layout's
+// pointers, whose silent corruption recovery cannot detect.
 func (m Meta) Checks() persistcheck.Annotations {
+	if !m.Integrity {
+		return persistcheck.Annotations{
+			Pubs: []persistcheck.Publication{{
+				Name:        "head",
+				Word:        m.Head,
+				Data:        []persistcheck.Extent{{Addr: m.Data, Size: m.DataBytes}},
+				ValueCovers: true,
+			}},
+			OrderAfter: []persistcheck.Region{{
+				Name: "tail",
+				Addr: m.Tail,
+				Size: 8,
+			}},
+		}
+	}
+	hw := durable.Word{Base: m.Head}
+	tw := durable.Word{Base: m.Tail}
 	return persistcheck.Annotations{
-		Pubs: []persistcheck.Publication{{
-			Name:        "head",
-			Word:        m.Head,
-			Data:        []persistcheck.Extent{{Addr: m.Data, Size: m.DataBytes}},
-			ValueCovers: true,
-		}},
+		Pubs: hw.Checks("head", []persistcheck.Extent{{Addr: m.Data, Size: m.DataBytes}}, true, false),
 		OrderAfter: []persistcheck.Region{{
+			// The CDB word at the base is the tail's commit point.
 			Name: "tail",
 			Addr: m.Tail,
 			Size: 8,
 		}},
+		Protected: []persistcheck.Extent{
+			hw.Extent(),
+			tw.Extent(),
+			{Addr: m.Data, Size: m.DataBytes},
+		},
 	}
 }

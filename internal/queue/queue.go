@@ -23,6 +23,7 @@ package queue
 import (
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/exec"
 	"repro/internal/locks"
 	"repro/internal/memory"
@@ -166,15 +167,27 @@ type Config struct {
 	// cover the entry while its data is still buffered — a reachable
 	// corruption our crash tests demonstrate (see EXPERIMENTS.md).
 	OmitCompletionBarrier bool
+	// Integrity hardens the durable format against media corruption
+	// (internal/durable): head and tail become dual-copy durable words
+	// behind corruption-detecting booleans, and entries become
+	// CRC64-framed records. Recovery then *detects* silent bit errors
+	// instead of trusting them. Costs extra persists per pointer update
+	// (the copy + CDB flip) and per entry (CRC64 vs the light checksum);
+	// the simulator's persist counts expose the overhead.
+	Integrity bool
 }
 
 // Meta locates a queue's persistent structures; recovery needs it after
 // a crash (a real system would store it at a well-known NVRAM address).
+// With Integrity set, Head and Tail are the bases of 40-byte durable
+// words (dual copies behind a CDB) rather than plain 8-byte offsets,
+// and entries carry CRC64 frame checksums.
 type Meta struct {
 	Head      memory.Addr
 	Tail      memory.Addr
 	Data      memory.Addr
 	DataBytes uint64
+	Integrity bool
 }
 
 // Queue is the simulated-machine persistent queue.
@@ -205,14 +218,24 @@ func New(s *exec.Thread, cfg Config) (*Queue, error) {
 		cfg.MaxThreads = 16
 	}
 	q := &Queue{cfg: cfg}
+	ptrBytes := int(memory.WordSize)
+	if cfg.Integrity {
+		ptrBytes = durable.WordBytes
+	}
 	q.meta = Meta{
-		Head:      s.MallocPersistent(memory.WordSize, SlotAlign),
-		Tail:      s.MallocPersistent(memory.WordSize, SlotAlign),
+		Head:      s.MallocPersistent(ptrBytes, SlotAlign),
+		Tail:      s.MallocPersistent(ptrBytes, SlotAlign),
 		Data:      s.MallocPersistent(int(cfg.DataBytes), SlotAlign),
 		DataBytes: cfg.DataBytes,
+		Integrity: cfg.Integrity,
 	}
-	s.Store8(q.meta.Head, 0)
-	s.Store8(q.meta.Tail, 0)
+	if cfg.Integrity {
+		durable.Word{Base: q.meta.Head}.Init(s, 0)
+		durable.Word{Base: q.meta.Tail}.Init(s, 0)
+	} else {
+		s.Store8(q.meta.Head, 0)
+		s.Store8(q.meta.Tail, 0)
+	}
 	s.PersistBarrier()
 	switch cfg.Design {
 	case CWL:
@@ -289,6 +312,46 @@ func (q *Queue) newStrand(t *exec.Thread) { // lines 6 and 21
 	}
 }
 
+// Pointer accessors: with integrity enabled, head and tail live in
+// dual-copy durable words whose commit point is the CDB flip at the
+// word's base — the same address the plain layout keeps the offset at,
+// so the strand-ordering read below needs no dispatch. The durable
+// store emits its own internal barriers under every non-strict policy
+// (including racing-epochs, whose entries otherwise rely on same-word
+// persist atomicity that a multi-word pointer no longer has).
+
+func (q *Queue) relaxed() bool { return q.cfg.Policy != PolicyStrict }
+
+func (q *Queue) loadHead(t *exec.Thread) uint64 {
+	if q.cfg.Integrity {
+		return durable.Word{Base: q.meta.Head}.Load(t)
+	}
+	return t.Load8(q.meta.Head)
+}
+
+func (q *Queue) storeHead(t *exec.Thread, v uint64) {
+	if q.cfg.Integrity {
+		durable.Word{Base: q.meta.Head}.Store(t, v, q.relaxed())
+		return
+	}
+	t.Store8(q.meta.Head, v)
+}
+
+func (q *Queue) loadTail(t *exec.Thread) uint64 {
+	if q.cfg.Integrity {
+		return durable.Word{Base: q.meta.Tail}.Load(t)
+	}
+	return t.Load8(q.meta.Tail)
+}
+
+func (q *Queue) storeTail(t *exec.Thread, v uint64) {
+	if q.cfg.Integrity {
+		durable.Word{Base: q.meta.Tail}.Store(t, v, q.relaxed())
+		return
+	}
+	t.Store8(q.meta.Tail, v)
+}
+
 // strandOrderingRead applies §5.3's recipe after NewStrand: every
 // persist of this insert — the entry overwrites slots freed by Remove,
 // and the head pointer widens the live window — must stay ordered
@@ -328,7 +391,7 @@ func (q *Queue) Insert(t *exec.Thread, payload []byte) uint64 {
 func (q *Queue) insertCWL(t *exec.Thread, payload []byte) uint64 {
 	q.barrierOuter(t)      // line 3
 	q.queueLock.Acquire(t) // line 4
-	head := t.Load8(q.meta.Head)
+	head := q.loadHead(t)
 	pos := q.skipWrap(t, head, SlotBytes(len(payload)), false)
 	newHead := pos + SlotBytes(len(payload))
 	q.checkCapacity(t, newHead)
@@ -341,7 +404,7 @@ func (q *Queue) insertCWL(t *exec.Thread, payload []byte) uint64 {
 	}
 	q.writeEntryAt(t, pos, payload) // line 7: COPY(data[head], ...)
 	q.barrierMid(t)                 // line 8
-	t.Store8(q.meta.Head, newHead)  // line 9: head persist
+	q.storeHead(t, newHead)         // line 9: head persist
 	q.barrierInner(t)               // line 11
 	q.queueLock.Release(t)          // line 12
 	q.barrierOuter(t)               // line 13
@@ -370,8 +433,8 @@ func (q *Queue) insert2LC(t *exec.Thread, payload []byte) uint64 {
 	q.updateLock.Acquire(t) // line 23
 	oldest, newHead := q.list.remove(t, node)
 	if oldest { // line 26
-		q.barrierMid(t)                // line 27
-		t.Store8(q.meta.Head, newHead) // line 28
+		q.barrierMid(t)         // line 27
+		q.storeHead(t, newHead) // line 28
 	}
 	q.updateLock.Release(t) // line 31
 	return start
@@ -383,7 +446,7 @@ func (q *Queue) checkCapacity(t *exec.Thread, newHead uint64) {
 	if q.cfg.Overwrite {
 		return
 	}
-	tail := t.Load8(q.meta.Tail)
+	tail := q.loadTail(t)
 	if newHead-tail > q.cfg.DataBytes {
 		panic(fmt.Sprintf("queue: full (head %d, tail %d, capacity %d)", newHead, tail, q.cfg.DataBytes))
 	}
@@ -407,6 +470,12 @@ func (q *Queue) skipWrap(t *exec.Thread, pos, slot uint64, persist bool) uint64 
 // payload bytes, checksum word.
 func (q *Queue) writeEntryAt(t *exec.Thread, pos uint64, payload []byte) {
 	base := q.meta.Data + memory.Addr(pos%q.cfg.DataBytes)
+	if q.cfg.Integrity {
+		// Same layout (durable.CRCOffset == checksumOffset), CRC64 trailer
+		// bound to the monotonic offset.
+		durable.SealFrame(t, base, pos, payload)
+		return
+	}
 	t.Store8(base, uint64(len(payload)))
 	t.StoreBytes(base+headerBytes, payload)
 	t.Store8(base+memory.Addr(checksumOffset(len(payload))), Checksum(pos, payload))
@@ -423,8 +492,8 @@ func (q *Queue) Remove(t *exec.Thread) (payload []byte, ok bool) {
 	}
 	lock.Acquire(t)
 	defer lock.Release(t)
-	tail := t.Load8(q.meta.Tail)
-	head := t.Load8(q.meta.Head)
+	tail := q.loadTail(t)
+	head := q.loadHead(t)
 	if tail >= head {
 		return nil, false
 	}
@@ -441,6 +510,6 @@ func (q *Queue) Remove(t *exec.Thread) (payload []byte, ok bool) {
 	payload = make([]byte, length)
 	t.LoadBytes(q.meta.Data+memory.Addr(idx)+headerBytes, payload)
 	q.barrierMid(t)
-	t.Store8(q.meta.Tail, tail+SlotBytes(int(length)))
+	q.storeTail(t, tail+SlotBytes(int(length)))
 	return payload, true
 }

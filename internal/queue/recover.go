@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/memory"
 )
 
@@ -48,8 +49,24 @@ func Recover(im *memory.Image, meta Meta) ([]Entry, error) {
 	if meta.DataBytes == 0 || meta.DataBytes%SlotAlign != 0 {
 		return nil, fmt.Errorf("queue: bad recovery metadata: data bytes %d", meta.DataBytes)
 	}
-	head := im.ReadWord(meta.Head)
-	tail := im.ReadWord(meta.Tail)
+	var head, tail uint64
+	if meta.Integrity {
+		// Strict recovery verifies annotations against clean crash
+		// states: any integrity detection in the pointer words is itself
+		// a violation here (the salvage path is where fallback belongs).
+		hr := durable.ReadWord(im, meta.Head)
+		tr := durable.ReadWord(im, meta.Tail)
+		if !hr.OK || hr.Detected() {
+			return nil, &CorruptionError{Offset: 0, Reason: "head word corrupt"}
+		}
+		if !tr.OK || tr.Detected() {
+			return nil, &CorruptionError{Offset: 0, Reason: "tail word corrupt"}
+		}
+		head, tail = hr.Val, tr.Val
+	} else {
+		head = im.ReadWord(meta.Head)
+		tail = im.ReadWord(meta.Tail)
+	}
 	if tail > head {
 		return nil, &CorruptionError{Offset: tail, Reason: fmt.Sprintf("tail %d beyond head %d", tail, head)}
 	}
@@ -74,6 +91,15 @@ func Recover(im *memory.Image, meta Meta) ([]Entry, error) {
 		}
 		if idx+slot > meta.DataBytes {
 			return nil, &CorruptionError{Offset: pos, Reason: "entry straddles wrap point"}
+		}
+		if meta.Integrity {
+			payload, ok := durable.OpenFrame(im, meta.Data+memory.Addr(idx), pos, MaxPayload)
+			if !ok {
+				return nil, &CorruptionError{Offset: pos, Reason: "frame CRC mismatch"}
+			}
+			out = append(out, Entry{Offset: pos, Payload: payload})
+			pos += slot
+			continue
 		}
 		payload := make([]byte, length)
 		im.ReadBytes(meta.Data+memory.Addr(idx)+headerBytes, payload)

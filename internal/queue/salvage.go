@@ -3,6 +3,7 @@ package queue
 import (
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/fault"
 	"repro/internal/memory"
 )
@@ -32,36 +33,44 @@ const (
 // trustedHead is true, head bounds the entry's end. On entOK it
 // returns the entry and the next offset; on entWrap only the next
 // offset; on entBad the caller quarantines and resynchronizes.
-// poisoned reports whether the failure involved poisoned media.
-func salvageParse(im *memory.Image, meta Meta, pos, head uint64, trustedHead bool) (e Entry, next uint64, status int, poisoned bool) {
+// poisoned reports whether the failure involved poisoned media;
+// crcFail reports an integrity-layer CRC mismatch specifically.
+func salvageParse(im *memory.Image, meta Meta, pos, head uint64, trustedHead bool) (e Entry, next uint64, status int, poisoned, crcFail bool) {
 	idx := pos % meta.DataBytes
 	base := meta.Data + memory.Addr(idx)
 	if im.Poisoned(base) {
-		return Entry{}, 0, entBad, true
+		return Entry{}, 0, entBad, true, false
 	}
 	length := im.ReadWord(base)
 	if length == wrapMarker {
-		return Entry{}, pos + (meta.DataBytes - idx), entWrap, false
+		return Entry{}, pos + (meta.DataBytes - idx), entWrap, false, false
 	}
 	if length == 0 || length > MaxPayload {
-		return Entry{}, 0, entBad, false
+		return Entry{}, 0, entBad, false, false
 	}
 	slot := SlotBytes(int(length))
 	if idx+slot > meta.DataBytes {
-		return Entry{}, 0, entBad, false
+		return Entry{}, 0, entBad, false, false
 	}
 	if trustedHead && pos+slot > head {
-		return Entry{}, 0, entBad, false
+		return Entry{}, 0, entBad, false, false
 	}
 	if im.RangePoisoned(base, int(slot)) {
-		return Entry{}, 0, entBad, true
+		return Entry{}, 0, entBad, true, false
+	}
+	if meta.Integrity {
+		payload, ok := durable.OpenFrame(im, base, pos, MaxPayload)
+		if !ok {
+			return Entry{}, 0, entBad, false, true
+		}
+		return Entry{Offset: pos, Payload: payload}, pos + slot, entOK, false, false
 	}
 	payload := make([]byte, length)
 	im.ReadBytes(base+headerBytes, payload)
 	if im.ReadWord(base+memory.Addr(checksumOffset(int(length)))) != Checksum(pos, payload) {
-		return Entry{}, 0, entBad, false
+		return Entry{}, 0, entBad, false, false
 	}
-	return Entry{Offset: pos, Payload: payload}, pos + slot, entOK, false
+	return Entry{Offset: pos, Payload: payload}, pos + slot, entOK, false, false
 }
 
 // RecoverSalvage parses as much of the queue as the image supports,
@@ -74,17 +83,32 @@ func RecoverSalvage(im *memory.Image, meta Meta) ([]Entry, fault.RecoveryReport,
 	if meta.DataBytes == 0 || meta.DataBytes%SlotAlign != 0 {
 		return nil, rep, fmt.Errorf("queue: bad recovery metadata: data bytes %d", meta.DataBytes)
 	}
-	head := im.ReadWord(meta.Head)
-	tail := im.ReadWord(meta.Tail)
-	// Both pointers only ever hold slot-aligned offsets; a torn persist
-	// of either word shows up as misalignment or implausible distance.
-	headUsable := !im.Poisoned(meta.Head) && head%SlotAlign == 0
-	tailUsable := !im.Poisoned(meta.Tail) && tail%SlotAlign == 0
-	if im.Poisoned(meta.Head) {
-		rep.PoisonedWords++
-	}
-	if im.Poisoned(meta.Tail) {
-		rep.PoisonedWords++
+	var head, tail uint64
+	var headUsable, tailUsable bool
+	if meta.Integrity {
+		// Durable-word pointers: CRC-validated copies behind a CDB.
+		// Detections land in the report; a fallback read still anchors
+		// the scan (the older value is safe — head/tail only grow).
+		hr := durable.ReadWord(im, meta.Head)
+		tr := durable.ReadWord(im, meta.Tail)
+		hr.Absorb(&rep, "head")
+		tr.Absorb(&rep, "tail")
+		head, tail = hr.Val, tr.Val
+		headUsable = hr.OK && head%SlotAlign == 0
+		tailUsable = tr.OK && tail%SlotAlign == 0
+	} else {
+		head = im.ReadWord(meta.Head)
+		tail = im.ReadWord(meta.Tail)
+		// Both pointers only ever hold slot-aligned offsets; a torn persist
+		// of either word shows up as misalignment or implausible distance.
+		headUsable = !im.Poisoned(meta.Head) && head%SlotAlign == 0
+		tailUsable = !im.Poisoned(meta.Tail) && tail%SlotAlign == 0
+		if im.Poisoned(meta.Head) {
+			rep.PoisonedWords++
+		}
+		if im.Poisoned(meta.Tail) {
+			rep.PoisonedWords++
+		}
 	}
 	trusted := headUsable && tailUsable
 	if !trusted {
@@ -116,7 +140,7 @@ func RecoverSalvage(im *memory.Image, meta Meta) ([]Entry, fault.RecoveryReport,
 	var out []Entry
 	pos := tail
 	for pos < limit {
-		e, next, status, poisoned := salvageParse(im, meta, pos, head, trusted)
+		e, next, status, poisoned, crcFail := salvageParse(im, meta, pos, head, trusted)
 		switch status {
 		case entOK:
 			out = append(out, e)
@@ -130,9 +154,17 @@ func RecoverSalvage(im *memory.Image, meta Meta) ([]Entry, fault.RecoveryReport,
 			if poisoned {
 				rep.PoisonedWords++
 			}
+			if crcFail {
+				rep.CRCDetected++
+			}
 			rep.BytesScanned += memory.WordSize
 			if !trusted {
-				// End of provable data.
+				// End of provable data. A nonzero length word here is a
+				// record the scan deliberately leaves behind (torn tail or
+				// unreachable era) — visible, not corruption by itself.
+				if im.ReadWord(meta.Data+memory.Addr(pos%meta.DataBytes)) != 0 {
+					rep.DiscardedRecords++
+				}
 				return out, rep, nil
 			}
 			rep.Quarantined++
@@ -141,7 +173,7 @@ func RecoverSalvage(im *memory.Image, meta Meta) ([]Entry, fault.RecoveryReport,
 			resynced := false
 			for q := pos + SlotAlign; q < head; q += SlotAlign {
 				rep.BytesScanned += memory.WordSize
-				if _, _, st, _ := salvageParse(im, meta, q, head, trusted); st != entBad {
+				if _, _, st, _, _ := salvageParse(im, meta, q, head, trusted); st != entBad {
 					rep.Dropped += int((q-pos)/SlotAlign) - 1
 					pos, resynced = q, true
 					break

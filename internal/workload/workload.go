@@ -44,6 +44,10 @@ type Options struct {
 	BreakCommit bool
 	// OmitRecipe drops the journal's §5.3 strand recipe (negative test).
 	OmitRecipe bool
+	// Integrity builds the structure with the corruption-detecting
+	// durable format (internal/durable): CRC-framed records, dual-copy
+	// pointer words, shadow checksums.
+	Integrity bool
 
 	// DesignStr/PolicyStr preserve the flag spellings for repro params.
 	DesignStr, PolicyStr string
@@ -92,6 +96,9 @@ func (o Options) Params() []fault.Param {
 	if o.OmitRecipe {
 		ps = append(ps, fault.Param{Key: "omit-strand-recipe", Value: "1"})
 	}
+	if o.Integrity {
+		ps = append(ps, fault.Param{Key: "integrity", Value: "1"})
+	}
 	return ps
 }
 
@@ -136,6 +143,7 @@ func FromScenario(s *fault.Scenario) (Options, error) {
 		OmitComp:    get("omit-completion-barrier", "") == "1",
 		BreakCommit: get("break-commit", "") == "1",
 		OmitRecipe:  get("omit-strand-recipe", "") == "1",
+		Integrity:   get("integrity", "") == "1",
 		DesignStr:   get("design", "cwl"), PolicyStr: get("policy", "epoch"),
 	}
 	return o, firstErr
@@ -193,6 +201,7 @@ func setup(o Options, m *exec.Machine) (*Run, func(*exec.Thread), error) {
 			MaxThreads:            o.Threads,
 			BreakDataHeadOrder:    o.BreakBar,
 			OmitCompletionBarrier: o.OmitComp,
+			Integrity:             o.Integrity,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -237,6 +246,7 @@ func setup(o Options, m *exec.Machine) (*Run, func(*exec.Thread), error) {
 			Policy:                 jpol,
 			BreakRecordCommitOrder: o.BreakCommit,
 			OmitStrandRecipe:       o.OmitRecipe,
+			Integrity:              o.Integrity,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -272,7 +282,7 @@ func setup(o Options, m *exec.Machine) (*Run, func(*exec.Thread), error) {
 		run.Describe = fmt.Sprintf("journal, %v annotations, %d threads, %d txns", jpol, o.Threads, per*o.Threads)
 	case "pstm":
 		ppol := PSTMPolicy(o.Policy)
-		h, err := pstm.New(s, pstm.Config{Words: 2 * o.Threads, UndoCap: 8, Policy: ppol})
+		h, err := pstm.New(s, pstm.Config{Words: 2 * o.Threads, UndoCap: 8, Policy: ppol, Integrity: o.Integrity})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -307,6 +317,9 @@ func setup(o Options, m *exec.Machine) (*Run, func(*exec.Thread), error) {
 		run.Describe = fmt.Sprintf("pstm heap, %v annotations, %d threads, %d txns", ppol, o.Threads, per*o.Threads)
 	default:
 		return nil, nil, fmt.Errorf("unknown workload %q", o.Workload)
+	}
+	if o.Integrity {
+		run.Describe += ", integrity format"
 	}
 	return run, body, nil
 }
