@@ -1,0 +1,126 @@
+// benchdiff is the statistical bench-regression gate: it pairs
+// benchmarks across two BENCH_*.json suites (or a suite against the
+// newest BENCH_history.jsonl record), applies a noise-aware
+// significance test on top of relative thresholds, prints a markdown
+// delta table, and exits nonzero when anything regressed — the CI
+// hook that keeps the hot paths honest.
+//
+//	benchdiff OLD.json NEW.json            compare two suite files
+//	benchdiff -history H.jsonl NEW.json    compare against newest record
+//	benchdiff -history H.jsonl -append NEW.json
+//	                                       also append NEW as a new
+//	                                       manifest-stamped record
+//
+// Exit status: 0 clean, 1 regression detected, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchdiff"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold      = fs.Float64("threshold", 0.10, "relative ns/op change below which a delta is never significant")
+		allocThreshold = fs.Float64("alloc-threshold", 0.05, "relative allocs/op change below which a delta is never significant")
+		alpha          = fs.Float64("alpha", 0.05, "Mann-Whitney significance level (used when both sides have >=4 samples per benchmark)")
+		all            = fs.Bool("all", false, "print every paired benchmark, not just significant deltas")
+		history        = fs.String("history", "", "BENCH_history.jsonl to use as baseline (newest record) instead of an OLD.json argument")
+		appendHist     = fs.Bool("append", false, "append NEW.json to -history as a manifest-stamped record after comparing")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		fmt.Fprintf(stderr, "       benchdiff [flags] -history BENCH_history.jsonl [-append] NEW.json\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *appendHist && *history == "" {
+		fmt.Fprintln(stderr, "benchdiff: -append requires -history")
+		return 2
+	}
+
+	var oldS, newS *benchdiff.Suite
+	var err error
+	switch {
+	case *history != "" && fs.NArg() == 1:
+		recs, rerr := benchdiff.ReadHistory(*history)
+		if *appendHist && (os.IsNotExist(rerr) || (rerr == nil && len(recs) == 0)) {
+			// Bootstrap: nothing to compare against yet; seed the first
+			// record and exit clean.
+			newS, err = benchdiff.ReadSuite(fs.Arg(0))
+			if err != nil {
+				fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+				return 2
+			}
+			m := telemetry.NewManifest("benchdiff").CaptureFlags(fs)
+			if err := benchdiff.AppendHistory(*history, newS, m); err != nil {
+				fmt.Fprintf(stderr, "benchdiff: append: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "Seeded %s with %q (no baseline to compare yet).\n", *history, newS.Suite)
+			return 0
+		}
+		err = rerr
+		if err == nil {
+			if oldS, err = benchdiff.LatestBaseline(recs); err == nil {
+				newS, err = benchdiff.ReadSuite(fs.Arg(0))
+			}
+		}
+	case *history == "" && fs.NArg() == 2:
+		if oldS, err = benchdiff.ReadSuite(fs.Arg(0)); err == nil {
+			newS, err = benchdiff.ReadSuite(fs.Arg(1))
+		}
+	default:
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	opts := benchdiff.Options{
+		NsThreshold:    *threshold,
+		AllocThreshold: *allocThreshold,
+		Alpha:          *alpha,
+	}
+	deltas := benchdiff.Compare(oldS, newS, opts)
+	if len(deltas) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmarks in common")
+		return 2
+	}
+	if err := benchdiff.WriteMarkdown(stdout, deltas, *all); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	if *appendHist {
+		m := telemetry.NewManifest("benchdiff").CaptureFlags(fs)
+		if err := benchdiff.AppendHistory(*history, newS, m); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: append: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "benchdiff: appended %q record to %s\n", newS.Suite, *history)
+	}
+
+	if regs := benchdiff.Regressions(deltas); len(regs) > 0 {
+		for _, d := range regs {
+			fmt.Fprintf(stderr, "benchdiff: REGRESSION %s: %s\n", d.Name, d.Metric)
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSuite(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseSuite = `{
+  "suite": "core-microbench", "benchtime": "100x",
+  "benchmarks": [
+    {"name": "BenchmarkSimFeed/strict", "ns_per_op": 598429, "bytes_per_op": 1, "allocs_per_op": 0},
+    {"name": "BenchmarkGraphBuild/epoch", "ns_per_op": 19349299, "bytes_per_op": 13138320, "allocs_per_op": 121311}
+  ]
+}`
+
+// Identical inputs: exit 0, no table rows — the gate must never cry
+// wolf on a clean run.
+func TestIdenticalSuitesExitZeroEmptyTable(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSuite(t, dir, "old.json", baseSuite)
+	var out, errb strings.Builder
+	code := run([]string{old, old}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "|") {
+		t.Errorf("delta table not empty:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "No significant deltas") {
+		t.Errorf("missing no-deltas line:\n%s", out.String())
+	}
+}
+
+// An injected 25% ns/op regression must exit 1 and name the
+// benchmark on both streams.
+func TestInjectedRegressionExitsOneNamingBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSuite(t, dir, "old.json", baseSuite)
+	regressed := strings.Replace(baseSuite, `"ns_per_op": 598429`, `"ns_per_op": 748036`, 1)
+	neu := writeSuite(t, dir, "new.json", regressed)
+	var out, errb strings.Builder
+	code := run([]string{"-threshold", "0.20", old, neu}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, stream := range []string{out.String(), errb.String()} {
+		if !strings.Contains(stream, "BenchmarkSimFeed/strict") {
+			t.Errorf("regressing benchmark not named:\n%s", stream)
+		}
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("table missing REGRESSION verdict:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkGraphBuild/epoch") {
+		t.Errorf("unchanged benchmark leaked into table:\n%s", out.String())
+	}
+}
+
+// The same +25% delta must pass under CI's generous cross-machine
+// threshold.
+func TestGenerousThresholdTolerates(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSuite(t, dir, "old.json", baseSuite)
+	regressed := strings.Replace(baseSuite, `"ns_per_op": 598429`, `"ns_per_op": 748036`, 1)
+	neu := writeSuite(t, dir, "new.json", regressed)
+	var out, errb strings.Builder
+	if code := run([]string{"-threshold", "3.0", "-alloc-threshold", "0.25", old, neu}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 at generous threshold; stderr:\n%s", code, errb.String())
+	}
+}
+
+func TestHistoryAppendAndBaseline(t *testing.T) {
+	dir := t.TempDir()
+	neu := writeSuite(t, dir, "new.json", baseSuite)
+	hist := filepath.Join(dir, "BENCH_history.jsonl")
+
+	// Empty history: error (exit 2), nothing to compare against.
+	var out, errb strings.Builder
+	if code := run([]string{"-history", hist, neu}, &out, &errb); code != 2 {
+		t.Fatalf("missing history: exit = %d, want 2", code)
+	}
+
+	if code := run([]string{"-append", "-history", hist, neu, neu}, &out, &errb); code != 2 {
+		t.Fatalf("-history with two args: exit = %d, want 2 (usage)", code)
+	}
+
+	// Seed one record by hand, then the single-arg form must compare
+	// against it and -append must add a manifest-stamped second line.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, []byte(baseSuite)); err != nil {
+		t.Fatal(err)
+	}
+	rec := `{"manifest":{"tool":"seed","started":"2026-08-08T00:00:00Z","go_version":"go","os":"linux","arch":"amd64","cpus":1,"gomaxprocs":1,"args":[]},"suite":` + compact.String() + `}`
+	if err := os.WriteFile(hist, []byte(rec+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-history", hist, "-append", neu}, &out, &errb); code != 0 {
+		t.Fatalf("history compare: exit = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	data, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history has %d lines, want 2", len(lines))
+	}
+	var appended struct {
+		Manifest map[string]any `json:"manifest"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &appended); err != nil {
+		t.Fatal(err)
+	}
+	if appended.Manifest == nil || appended.Manifest["tool"] != "benchdiff" {
+		t.Errorf("appended record manifest = %v, want tool=benchdiff", appended.Manifest)
+	}
+}
+
+// -append against a missing/empty history seeds the first record
+// instead of failing — the bootstrap path CI and fresh checkouts hit.
+func TestHistoryBootstrapSeeding(t *testing.T) {
+	dir := t.TempDir()
+	neu := writeSuite(t, dir, "new.json", baseSuite)
+	hist := filepath.Join(dir, "BENCH_history.jsonl")
+	var out, errb strings.Builder
+	if code := run([]string{"-history", hist, "-append", neu}, &out, &errb); code != 0 {
+		t.Fatalf("bootstrap: exit = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	recs, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(string(recs)), "\n")); n != 1 {
+		t.Fatalf("history has %d lines, want 1", n)
+	}
+	// Second run now has a baseline: compares clean and appends.
+	out.Reset()
+	if code := run([]string{"-history", hist, "-append", neu}, &out, &errb); code != 0 {
+		t.Fatalf("post-bootstrap: exit = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "No significant deltas") {
+		t.Errorf("expected clean compare:\n%s", out.String())
+	}
+}
+
+func TestAppendRequiresHistory(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-append", "a.json", "b.json"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -52,7 +52,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -93,8 +92,14 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		spansOut   = flag.String("spans-out", "", "write the harness wall-clock span trace (Chrome trace-event JSON) to this file")
 	)
 	flag.Parse()
+
+	man := telemetry.NewManifest("crashsim").
+		CaptureFlags(flag.CommandLine).
+		Seed("seed", *seed)
+	fmt.Fprintln(os.Stderr, man.String())
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -152,6 +157,8 @@ func main() {
 		Integrity: *integrity,
 		DesignStr: *designStr, PolicyStr: *policyStr,
 	}
+	man.ModelGrid(model)
+	var spans *telemetry.SpanTracer
 	var cache *bench.TraceCache
 	if *traceCache > 0 {
 		cache = bench.NewTraceCache(*traceCache)
@@ -180,7 +187,7 @@ func main() {
 		if *metricsOut != "" {
 			reg := telemetry.NewRegistry()
 			persistcheck.Observe(reg, rep)
-			if merr := writeMetrics(reg, *metricsOut); merr != nil {
+			if merr := telemetry.WriteMetrics(reg, man, *metricsOut); merr != nil {
 				fatal(merr)
 			}
 		}
@@ -194,7 +201,11 @@ func main() {
 
 	if *campaign {
 		reg := telemetry.NewRegistry()
+		if *spansOut != "" {
+			spans = telemetry.NewSpanTracer(reg)
+		}
 		wlabel := run.Describe
+		tty := stderrIsTTY()
 		stop := reg.Timer(telemetry.Label("crashsim_campaign", "workload", wlabel)).Time()
 		out, err := observer.Campaign(run.Trace, core.Params{Model: model}, run.Checked, observer.CampaignConfig{
 			Scenarios: *scenarios,
@@ -202,15 +213,26 @@ func main() {
 			Gen:       fault.GenConfig{MaxFaults: *faults},
 			Params:    opts.Params(),
 			Device:    campaignDevice(),
-			Sweep:     sweep.Config{Parallel: *parallel, Registry: reg},
+			Sweep:     sweep.Config{Parallel: *parallel, Registry: reg, Spans: spans},
+			Spans:     spans,
 			// Live progress: update the registry's campaign gauges and
-			// print a running counter line to stderr.
+			// print a running counter to stderr. On a terminal the
+			// counter rewrites itself in place; redirected to a file or
+			// CI log it degrades to a periodic newline line so the log
+			// stays readable instead of one \r-glued mega-line.
 			Progress: func(o observer.CampaignOutcome) {
 				observer.ObserveCampaign(reg, wlabel, o)
-				fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d scenarios (%d masked, %d salvaged, %d corrupt)",
-					o.Scenarios, *scenarios, o.Masked, o.Salvaged, o.AnnotationCorrupt+o.SilentCorrupt)
-				if o.Scenarios == *scenarios {
-					fmt.Fprintln(os.Stderr)
+				done := o.Scenarios == *scenarios
+				switch {
+				case tty:
+					fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d scenarios (%d masked, %d salvaged, %d corrupt)",
+						o.Scenarios, *scenarios, o.Masked, o.Salvaged, o.AnnotationCorrupt+o.SilentCorrupt)
+					if done {
+						fmt.Fprintln(os.Stderr)
+					}
+				case o.Scenarios%500 == 0 || done:
+					fmt.Fprintf(os.Stderr, "campaign: %d/%d scenarios (%d masked, %d salvaged, %d corrupt)\n",
+						o.Scenarios, *scenarios, o.Masked, o.Salvaged, o.AnnotationCorrupt+o.SilentCorrupt)
 				}
 			},
 		})
@@ -220,8 +242,9 @@ func main() {
 		stop()
 		observer.ObserveCampaign(reg, wlabel, out)
 		cache.Observe(reg)
+		writeSpans(*spansOut, man, spans)
 		if *metricsOut != "" {
-			if merr := writeMetrics(reg, *metricsOut); merr != nil {
+			if merr := telemetry.WriteMetrics(reg, man, *metricsOut); merr != nil {
 				fatal(merr)
 			}
 		}
@@ -233,7 +256,7 @@ func main() {
 			fmt.Printf("detected/silent: %d detected (%d recovered in full; crc %d, cdb %d), %d silent\n",
 				out.SilentBitCaught, out.DetectedRecovered, out.CRCDetected, out.CDBDetected, out.SilentBitMissed)
 		}
-		printCampaignJSON(out)
+		printCampaignJSON(out, man)
 		if *failSilent && out.SilentBitMissed > 0 {
 			fmt.Printf("verdict  : %d silent bit flip(s) corrupted state undetected\n", out.SilentBitMissed)
 			os.Exit(2)
@@ -248,10 +271,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	out, err := observer.CrashTest(run.Trace, core.Params{Model: model}, run.Recover, observer.Config{Samples: *samples, Seed: *seed, Sweep: sweep.Config{Parallel: *parallel}})
+	if *spansOut != "" {
+		spans = telemetry.NewSpanTracer(nil)
+	}
+	out, err := observer.CrashTest(run.Trace, core.Params{Model: model}, run.Recover, observer.Config{Samples: *samples, Seed: *seed, Sweep: sweep.Config{Parallel: *parallel, Spans: spans}})
 	if err != nil {
 		fatal(err)
 	}
+	writeSpans(*spansOut, man, spans)
 	fmt.Printf("observer : %s\n", out)
 	if out.AllRecovered() {
 		fmt.Println("verdict  : every sampled crash state recovered correctly")
@@ -264,8 +291,9 @@ func main() {
 // printCampaignJSON emits the machine-readable one-line campaign
 // summary (the last stdout line before the verdict), so scripts can
 // consume outcomes without parsing the human-oriented text.
-func printCampaignJSON(out observer.CampaignOutcome) {
+func printCampaignJSON(out observer.CampaignOutcome, man *telemetry.Manifest) {
 	b, err := json.Marshal(map[string]any{
+		"manifest":           man,
 		"model":              out.Model.String(),
 		"persists":           out.Persists,
 		"scenarios":          out.Scenarios,
@@ -290,18 +318,31 @@ func printCampaignJSON(out observer.CampaignOutcome) {
 	fmt.Printf("%s\n", b)
 }
 
-// writeMetrics snapshots the registry: Prometheus text for .prom/.txt
-// paths, JSON otherwise.
-func writeMetrics(reg *telemetry.Registry, path string) error {
+// stderrIsTTY reports whether stderr is an interactive terminal, i.e.
+// whether in-place \r progress rewriting renders sanely.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// writeSpans exports the wall-clock span trace; a nil tracer or empty
+// path is a no-op.
+func writeSpans(path string, man *telemetry.Manifest, spans *telemetry.SpanTracer) {
+	if path == "" || spans == nil {
+		return
+	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		fatal(err)
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
-		return reg.WritePrometheus(f)
+	if err := telemetry.EncodeChromeTraceDoc(f, man, spans); err != nil {
+		f.Close()
+		fatal(err)
 	}
-	return reg.WriteJSON(f)
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "crashsim: wrote %d wall-clock spans to %s\n", spans.Len(), path)
 }
 
 // campaignDevice is the timing model campaigns charge transient write

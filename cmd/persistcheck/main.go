@@ -42,7 +42,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/persistcheck"
@@ -72,6 +71,11 @@ func main() {
 	)
 	flag.Parse()
 
+	man := telemetry.NewManifest("persistcheck").
+		CaptureFlags(flag.CommandLine).
+		Seed("seed", *seed)
+	fmt.Fprintln(os.Stderr, man.String())
+
 	design, err := workload.ParseDesign(*designStr)
 	if err != nil {
 		fatal(err)
@@ -92,6 +96,7 @@ func main() {
 		models = []core.Model{m}
 	}
 
+	man.ModelGrid(models...)
 	reg := telemetry.NewRegistry()
 	hazards := 0
 	robustness := 0
@@ -126,7 +131,7 @@ func main() {
 		robustness += rep.RobustnessFindings()
 	}
 	if *metricsOut != "" {
-		if err := writeMetrics(reg, *metricsOut); err != nil {
+		if err := telemetry.WriteMetrics(reg, man, *metricsOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -139,20 +144,6 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println("verdict  : no persistency hazards found")
-}
-
-// writeMetrics snapshots the registry: Prometheus text for .prom/.txt
-// paths, JSON otherwise.
-func writeMetrics(reg *telemetry.Registry, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
-		return reg.WritePrometheus(f)
-	}
-	return reg.WriteJSON(f)
 }
 
 func fatal(err error) {

@@ -56,11 +56,26 @@ func main() {
 		traceCache = flag.Int("trace-cache", bench.DefaultCacheEntries, "workload trace cache capacity in traces; 0 disables (re-execute every workload)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		blockProf  = flag.String("blockprofile", "", "write a goroutine blocking profile to this file (rate 1)")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex contention profile to this file (fraction 1)")
+		spansOut   = flag.String("spans-out", "", "write the harness wall-clock span trace (Chrome trace-event JSON) to this file")
 		check      = flag.Bool("check", false, "run the persistency checker over the benchmark queue configurations and exit (status 2 on hazards)")
 		integrity  = flag.Bool("integrity", false, "use the corruption-detecting durable format in the ablation workloads (framing overhead shows up in persist counts)")
 	)
 	flag.Parse()
 
+	man := telemetry.NewManifest("pqbench").
+		CaptureFlags(flag.CommandLine).
+		Seed("seed", *seed).
+		ModelGrid(core.Models...)
+	fmt.Fprintln(os.Stderr, man.String())
+
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -76,9 +91,16 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
+	// The span tracer is allocated only when a trace is requested —
+	// spans cost a mutex acquisition per sweep item; the nil tracer
+	// costs nothing.
+	var spans *telemetry.SpanTracer
+	if *spansOut != "" {
+		spans = telemetry.NewSpanTracer(reg)
+	}
 	// Every experiment grid shares one sweep configuration; each sweep
 	// labels its own telemetry series via Named.
-	sw := sweep.Config{Parallel: *parallel, Registry: reg}
+	sw := sweep.Config{Parallel: *parallel, Registry: reg, Spans: spans}
 	// One trace cache spans every experiment, so workloads shared across
 	// experiments (e.g. fig4/fig5, banks/races) execute exactly once. A
 	// nil cache streams every execution.
@@ -86,6 +108,7 @@ func main() {
 	if *traceCache > 0 {
 		cache = bench.NewTraceCache(*traceCache)
 	}
+	cache.SetSpans(spans)
 	threads, err := parseInts(*threadsStr)
 	if err != nil {
 		fatal(err)
@@ -96,7 +119,7 @@ func main() {
 			fatal(err)
 		}
 		if *metricsOut != "" {
-			if err := writeMetrics(reg, *metricsOut); err != nil {
+			if err := telemetry.WriteMetrics(reg, man, *metricsOut); err != nil {
 				fatal(err)
 			}
 		}
@@ -145,7 +168,7 @@ func main() {
 			telemetry.ObserveResult(reg, fmt.Sprintf("%v/%v/%dT", r.Design, r.Policy, r.Threads), r.Result)
 		}
 		if *jsonOut {
-			return bench.Table1Report(cfg, rows).WriteJSON(os.Stdout)
+			return bench.Table1Report(cfg, rows).WithManifest(man).WriteJSON(os.Stdout)
 		}
 		fmt.Printf("persist-bound insert rate normalized to instruction rate (latency %v)\n", *latency)
 		fmt.Println("values >= 1 (marked *) are instruction-rate-bound, as bolded in the paper")
@@ -171,7 +194,7 @@ func main() {
 			return err
 		}
 		if *jsonOut {
-			return bench.Fig2Report(rows).WriteJSON(os.Stdout)
+			return bench.Fig2Report(rows).WithManifest(man).WriteJSON(os.Stdout)
 		}
 		fmt.Println("queue persist dependence structure (CWL, 1 thread): constraint edges by class")
 		fmt.Println("epoch removes the paper's 'A' constraints (intra-insert serialization);")
@@ -186,7 +209,7 @@ func main() {
 			return err
 		}
 		if *jsonOut {
-			return bench.Fig3Report(points).WriteJSON(os.Stdout)
+			return bench.Fig3Report(points).WithManifest(man).WriteJSON(os.Stdout)
 		}
 		fmt.Println("achievable rate (million inserts/s) vs persist latency; CWL, 1 thread")
 		emit(bench.RenderFig3(points))
@@ -202,7 +225,7 @@ func main() {
 			return err
 		}
 		if *jsonOut {
-			return bench.GranReport("fig4", points).WriteJSON(os.Stdout)
+			return bench.GranReport("fig4", points).WithManifest(man).WriteJSON(os.Stdout)
 		}
 		fmt.Println("persist critical path per insert vs atomic persist granularity (tracking 8B)")
 		emit(bench.RenderGran(points, "atomic"))
@@ -215,7 +238,7 @@ func main() {
 			return err
 		}
 		if *jsonOut {
-			return bench.GranReport("fig5", points).WriteJSON(os.Stdout)
+			return bench.GranReport("fig5", points).WithManifest(man).WriteJSON(os.Stdout)
 		}
 		fmt.Println("persist critical path per insert vs dependence tracking granularity (atomic 8B)")
 		emit(bench.RenderGran(points, "tracking"))
@@ -230,7 +253,9 @@ func main() {
 		if err != nil {
 			return err
 		}
+		sp := spans.Start("graph", "build").Arg("model", core.Epoch.String())
 		g, err := graph.Build(tr, core.Params{Model: core.Epoch})
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -259,7 +284,7 @@ func main() {
 			return err
 		}
 		if *jsonOut {
-			return bench.WindowReport(points).WriteJSON(os.Stdout)
+			return bench.WindowReport(points).WithManifest(man).WriteJSON(os.Stdout)
 		}
 		fmt.Println("coalescing-window ablation: strand-annotated CWL, 1 thread")
 		fmt.Println("(a finite persist buffer bounds the otherwise unbounded head coalescing)")
@@ -353,7 +378,9 @@ func main() {
 		if err != nil {
 			return err
 		}
+		sp := spans.Start("graph", "build").Arg("model", core.Epoch.String())
 		g, err := graph.Build(tr, core.Params{Model: core.Epoch})
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -425,7 +452,7 @@ func main() {
 				maxT = t
 			}
 		}
-		if err := tracePass(reg, *traceOut, maxT, *payload, *traceIns, *seed, *integrity); err != nil {
+		if err := tracePass(reg, man, *traceOut, maxT, *payload, *traceIns, *seed, *integrity); err != nil {
 			fatal(err)
 		}
 	}
@@ -435,8 +462,22 @@ func main() {
 		fmt.Printf("trace cache: %d hits, %d misses, %d evictions, %.1f%% of %d events replayed\n",
 			s.Hits, s.Misses, s.Evictions, 100*s.ReplayRate(), s.EventsReplayed+s.EventsGenerated)
 	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.EncodeChromeTraceDoc(f, man, spans); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pqbench: wrote %d wall-clock spans to %s\n", spans.Len(), *spansOut)
+	}
 	if *metricsOut != "" {
-		if err := writeMetrics(reg, *metricsOut); err != nil {
+		if err := telemetry.WriteMetrics(reg, man, *metricsOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -451,6 +492,34 @@ func main() {
 		}
 		f.Close()
 	}
+	if *blockProf != "" {
+		if err := writeLookupProfile("block", *blockProf); err != nil {
+			fatal(err)
+		}
+	}
+	if *mutexProf != "" {
+		if err := writeLookupProfile("mutex", *mutexProf); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeLookupProfile dumps a named runtime profile (block, mutex) to
+// a file in pprof format.
+func writeLookupProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("no %s profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // checkPass statically checks the queue configurations the benchmarks
@@ -503,7 +572,7 @@ func checkPass(reg *telemetry.Registry, threads []int, inserts, payload int, see
 // its simulation result, prints the critical-path attribution reports,
 // and exports one Perfetto-loadable Chrome trace with a process per
 // configuration.
-func tracePass(reg *telemetry.Registry, path string, threads, payload, inserts int, seed int64, integrity bool) error {
+func tracePass(reg *telemetry.Registry, man *telemetry.Manifest, path string, threads, payload, inserts int, seed int64, integrity bool) error {
 	models := []core.Model{core.Strict, core.Epoch, core.Strand}
 	policies := []queue.Policy{queue.PolicyStrict, queue.PolicyEpoch, queue.PolicyStrand}
 	var tracers []*telemetry.Tracer
@@ -550,25 +619,11 @@ func tracePass(reg *telemetry.Registry, path string, threads, payload, inserts i
 		return err
 	}
 	defer f.Close()
-	if err := telemetry.EncodeChromeTrace(f, tracers...); err != nil {
+	if err := telemetry.EncodeChromeTraceDoc(f, man, nil, tracers...); err != nil {
 		return err
 	}
 	fmt.Printf("wrote persist timeline for %d configurations to %s (load in Perfetto or chrome://tracing)\n", len(tracers), path)
 	return nil
-}
-
-// writeMetrics snapshots the registry: Prometheus text for .prom/.txt
-// paths, JSON otherwise.
-func writeMetrics(reg *telemetry.Registry, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".prom") || strings.HasSuffix(path, ".txt") {
-		return reg.WritePrometheus(f)
-	}
-	return reg.WriteJSON(f)
 }
 
 func parseInts(s string) ([]int, error) {

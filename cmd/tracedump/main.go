@@ -20,6 +20,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/queue"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -37,6 +38,12 @@ func main() {
 		dotModel  = flag.String("dot-model", "epoch", "persistency model for -dot")
 	)
 	flag.Parse()
+
+	man := telemetry.NewManifest("tracedump").
+		CaptureFlags(flag.CommandLine).
+		Seed("seed", *seed).
+		ModelGrid(core.Models...)
+	fmt.Fprintln(os.Stderr, man.String())
 
 	var tr *trace.Trace
 	if *replay != "" {

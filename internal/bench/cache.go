@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -44,6 +45,12 @@ type TraceCache struct {
 	evictions atomic.Int64
 	replayed  atomic.Int64 // events served from cache
 	generated atomic.Int64 // events produced by cache fills
+
+	// spans, when non-nil, records wall-clock spans (category
+	// "trace-cache") for miss/generate and hit/replay work, so the
+	// harness timeline shows where executions were paid for vs
+	// replayed. Set once via SetSpans before concurrent use.
+	spans *telemetry.SpanTracer
 }
 
 // cacheEntry is the singleflight slot for one workload key. The filling
@@ -82,6 +89,14 @@ func NewTraceCache(maxEntries int) *TraceCache {
 		max:     maxEntries,
 		budget:  DefaultCacheEventBudget,
 		entries: make(map[any]*cacheEntry, maxEntries),
+	}
+}
+
+// SetSpans attaches a wall-clock span tracer; nil detaches. Safe on a
+// nil cache. Call before the cache sees concurrent traffic.
+func (c *TraceCache) SetSpans(st *telemetry.SpanTracer) {
+	if c != nil {
+		c.spans = st
 	}
 }
 
@@ -161,11 +176,15 @@ func (c *TraceCache) lookup(key any, gen func() (*trace.Trace, error)) (*trace.T
 	e, missed := c.get(key, true)
 	defer c.put(e)
 	if missed {
+		sp := c.spans.Start("trace-cache", "generate").Arg("key", fmt.Sprint(key))
 		tr, err := gen()
+		sp.End()
 		c.fill(e, tr, err)
 		return tr, err
 	}
+	sp := c.spans.Start("trace-cache", "hit").Arg("key", fmt.Sprint(key))
 	<-e.ready
+	sp.End()
 	if e.err == nil {
 		c.replayed.Add(int64(e.tr.Len()))
 	}
@@ -270,8 +289,15 @@ func (c *TraceCache) simulateStream(key any, p core.Params, run func(trace.Sink)
 			return core.Result{}, e.err
 		}
 		c.replayed.Add(int64(e.tr.Len()))
-		return core.Simulate(e.tr, p)
+		sp := c.spans.Start("trace-cache", "replay").
+			Arg("key", fmt.Sprint(key)).Arg("model", p.Model.String())
+		r, err := core.Simulate(e.tr, p)
+		sp.End()
+		return r, err
 	}
+	sp := c.spans.Start("trace-cache", "generate").
+		Arg("key", fmt.Sprint(key)).Arg("model", p.Model.String())
+	defer sp.End()
 	t := &trace.Trace{}
 	sim, aerr := core.AcquireSim(p)
 	if aerr != nil {

@@ -369,7 +369,9 @@ func granularitySweep(cfg GranularityConfig, mkParams func(core.Model, uint64) c
 			pol := granPolicies[i/ng]
 			g := cfg.Granularities[i%ng]
 			model := ModelFor(pol)
+			sp := cfg.Sweep.Spans.Start("simulate", model.String()).Arg("granularity", g)
 			r, err := core.Simulate(traces[i/ng], mkParams(model, g))
+			sp.End()
 			if err != nil {
 				return GranPoint{}, err
 			}
@@ -462,7 +464,9 @@ func WindowAblation(inserts int, seed int64, windows []int64, sw sweep.Config, c
 	out := make([]WindowPoint, 0, len(windows))
 	err = sweep.Run(len(windows), sw.Named("window"),
 		func(i int) (WindowPoint, error) {
+			sp := sw.Spans.Start("simulate", core.Strand.String()).Arg("window", windows[i])
 			r, err := core.Simulate(tr, core.Params{Model: core.Strand, CoalesceWindow: windows[i]})
+			sp.End()
 			if err != nil {
 				return WindowPoint{}, err
 			}
@@ -537,7 +541,9 @@ func Fig2(inserts int, seed int64, sw sweep.Config, cache *TraceCache) ([]Fig2Ro
 		func(i int) (Fig2Row, error) {
 			pol := queue.Policies[i]
 			model := ModelFor(pol)
+			sp := sw.Spans.Start("graph", "build").Arg("model", model.String())
 			g, err := graph.Build(traces[i], core.Params{Model: model})
+			sp.End()
 			if err != nil {
 				return Fig2Row{}, err
 			}

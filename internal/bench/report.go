@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // Machine-readable run reports: every experiment's rows rendered as a
@@ -14,10 +16,19 @@ import (
 type Report struct {
 	// Experiment names the experiment (pqbench -experiment value).
 	Experiment string `json:"experiment"`
+	// Manifest records the run's provenance (git SHA, toolchain,
+	// flags, seeds, model grid) when the producing CLI attached one.
+	Manifest *telemetry.Manifest `json:"manifest,omitempty"`
 	// Config echoes the experiment's effective configuration.
 	Config any `json:"config,omitempty"`
 	// Rows holds the experiment's per-configuration results.
 	Rows any `json:"rows"`
+}
+
+// WithManifest attaches a run manifest to the report and returns it.
+func (r *Report) WithManifest(m *telemetry.Manifest) *Report {
+	r.Manifest = m
+	return r
 }
 
 // WriteJSON writes the report, indented, with a trailing newline.

@@ -1,0 +1,185 @@
+package benchdiff
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func suite(marks ...Benchmark) *Suite {
+	return &Suite{Suite: "core-microbench", Benchtime: "100x", Benchmarks: marks}
+}
+
+func TestCompareIdenticalIsEmpty(t *testing.T) {
+	s := suite(
+		Benchmark{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		Benchmark{Name: "BenchmarkB", NsPerOp: 500, AllocsPerOp: 0},
+	)
+	deltas := Compare(s, s, Options{})
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Regression || d.Improvement {
+			t.Errorf("%s flagged on identical input: %+v", d.Name, d)
+		}
+	}
+	var md strings.Builder
+	if err := WriteMarkdown(&md, deltas, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(md.String(), "|") {
+		t.Errorf("identical input produced table rows:\n%s", md.String())
+	}
+	if !strings.Contains(md.String(), "No significant deltas") {
+		t.Errorf("missing no-deltas line:\n%s", md.String())
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldS := suite(Benchmark{Name: "BenchmarkSlow", NsPerOp: 1000}, Benchmark{Name: "BenchmarkOK", NsPerOp: 1000})
+	newS := suite(Benchmark{Name: "BenchmarkSlow", NsPerOp: 1250}, Benchmark{Name: "BenchmarkOK", NsPerOp: 1010})
+	deltas := Compare(oldS, newS, Options{NsThreshold: 0.10})
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSlow" {
+		t.Fatalf("want BenchmarkSlow regression, got %+v", regs)
+	}
+	if regs[0].Metric != "ns/op" {
+		t.Errorf("metric = %q, want ns/op", regs[0].Metric)
+	}
+	var md strings.Builder
+	if err := WriteMarkdown(&md, deltas, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "BenchmarkSlow") || !strings.Contains(md.String(), "REGRESSION") {
+		t.Errorf("markdown missing regression row:\n%s", md.String())
+	}
+	if strings.Contains(md.String(), "BenchmarkOK") {
+		t.Errorf("markdown includes insignificant row:\n%s", md.String())
+	}
+}
+
+func TestCompareFlagsImprovementAndAllocs(t *testing.T) {
+	oldS := suite(Benchmark{Name: "BenchmarkFast", NsPerOp: 1000},
+		Benchmark{Name: "BenchmarkAlloc", NsPerOp: 1000, AllocsPerOp: 100})
+	newS := suite(Benchmark{Name: "BenchmarkFast", NsPerOp: 700},
+		Benchmark{Name: "BenchmarkAlloc", NsPerOp: 1010, AllocsPerOp: 120})
+	deltas := Compare(oldS, newS, Options{})
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkFast"]; !d.Improvement || d.Regression {
+		t.Errorf("BenchmarkFast: %+v, want improvement", d)
+	}
+	if d := byName["BenchmarkAlloc"]; !d.Regression || d.Metric != "allocs/op" {
+		t.Errorf("BenchmarkAlloc: %+v, want allocs/op regression", d)
+	}
+}
+
+// A large-looking ns/op delta whose samples overlap completely must
+// be suppressed by the significance test; the same delta with cleanly
+// separated samples must survive it.
+func TestMannWhitneyGatesNoisyDeltas(t *testing.T) {
+	noisyOld := suite(
+		Benchmark{Name: "BenchmarkN", NsPerOp: 500}, Benchmark{Name: "BenchmarkN", NsPerOp: 1500},
+		Benchmark{Name: "BenchmarkN", NsPerOp: 600}, Benchmark{Name: "BenchmarkN", NsPerOp: 1400},
+	)
+	noisyNew := suite(
+		Benchmark{Name: "BenchmarkN", NsPerOp: 1500}, Benchmark{Name: "BenchmarkN", NsPerOp: 550},
+		Benchmark{Name: "BenchmarkN", NsPerOp: 1450}, Benchmark{Name: "BenchmarkN", NsPerOp: 1300},
+	)
+	deltas := Compare(noisyOld, noisyNew, Options{NsThreshold: 0.10})
+	if d := deltas[0]; d.Regression {
+		t.Errorf("overlapping samples flagged as regression: %+v", d)
+	}
+	if math.IsNaN(deltas[0].P) {
+		t.Errorf("p-value not computed for 4v4 samples: %+v", deltas[0])
+	}
+
+	sepOld := suite(
+		Benchmark{Name: "BenchmarkS", NsPerOp: 1000}, Benchmark{Name: "BenchmarkS", NsPerOp: 1010},
+		Benchmark{Name: "BenchmarkS", NsPerOp: 990}, Benchmark{Name: "BenchmarkS", NsPerOp: 1005},
+	)
+	sepNew := suite(
+		Benchmark{Name: "BenchmarkS", NsPerOp: 1300}, Benchmark{Name: "BenchmarkS", NsPerOp: 1310},
+		Benchmark{Name: "BenchmarkS", NsPerOp: 1290}, Benchmark{Name: "BenchmarkS", NsPerOp: 1305},
+	)
+	deltas = Compare(sepOld, sepNew, Options{NsThreshold: 0.10})
+	if d := deltas[0]; !d.Regression {
+		t.Errorf("separated +30%% samples not flagged: %+v", d)
+	}
+}
+
+func TestMannWhitneyP(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if p := MannWhitneyP(same, same); p < 0.9 {
+		t.Errorf("identical samples: p = %v, want ~1", p)
+	}
+	lo := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	hi := []float64{101, 102, 103, 104, 105, 106, 107, 108}
+	if p := MannWhitneyP(lo, hi); p > 0.01 {
+		t.Errorf("disjoint samples: p = %v, want < 0.01", p)
+	}
+	if p := MannWhitneyP(nil, hi); p != 1 {
+		t.Errorf("empty side: p = %v, want 1", p)
+	}
+	if p := MannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Errorf("all tied: p = %v, want 1", p)
+	}
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	oldS := suite(Benchmark{Name: "BenchmarkZ", NsPerOp: 100, AllocsPerOp: 0})
+	newS := suite(Benchmark{Name: "BenchmarkZ", NsPerOp: 100, AllocsPerOp: 3})
+	deltas := Compare(oldS, newS, Options{})
+	if d := deltas[0]; !d.Regression || d.Metric != "allocs/op" || !math.IsInf(d.AllocRatio, 1) {
+		t.Errorf("0→3 allocs: %+v, want +inf allocs/op regression", d)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	s := suite(Benchmark{Name: "BenchmarkA", NsPerOp: 1000})
+	m := telemetry.NewManifest("benchdiff-test")
+	if err := AppendHistory(path, s, m); err != nil {
+		t.Fatal(err)
+	}
+	s2 := suite(Benchmark{Name: "BenchmarkA", NsPerOp: 1100})
+	if err := AppendHistory(path, s2, m); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Manifest == nil || rec.Manifest.Tool != "benchdiff-test" {
+			t.Errorf("record %d manifest = %+v, want stamped", i, rec.Manifest)
+		}
+	}
+	base, err := LatestBaseline(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Benchmarks[0].NsPerOp; got != 1100 {
+		t.Errorf("baseline ns/op = %v, want newest record (1100)", got)
+	}
+}
+
+func TestReadSuiteRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte(`{"suite":"x","benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSuite(path); err == nil {
+		t.Error("empty suite accepted")
+	}
+}

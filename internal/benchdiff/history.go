@@ -1,0 +1,88 @@
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// BENCH_history.jsonl: an append-only log of benchmark suites, one
+// JSON record per line, each stamped with the run manifest that
+// produced it. benchdiff -history compares a fresh suite against the
+// newest record; -append adds the fresh suite as a new record, so CI
+// and local runs accumulate a machine-lineage of the hot paths.
+
+// HistoryRecord is one line of BENCH_history.jsonl.
+type HistoryRecord struct {
+	Manifest *telemetry.Manifest `json:"manifest,omitempty"`
+	Suite    Suite               `json:"suite"`
+}
+
+// ReadHistory parses every record in a history file, oldest first.
+func ReadHistory(path string) ([]HistoryRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec HistoryRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("benchdiff: %s:%d: %w", path, line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// LatestBaseline returns the newest record's suite, for use as the
+// comparison baseline.
+func LatestBaseline(recs []HistoryRecord) (*Suite, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("benchdiff: history is empty")
+	}
+	s := recs[len(recs)-1].Suite
+	if s.Manifest == nil {
+		s.Manifest = recs[len(recs)-1].Manifest
+	}
+	return &s, nil
+}
+
+// AppendHistory appends one record to the history file, creating it
+// if needed. The suite's embedded manifest is hoisted to the record;
+// when the suite has none (bench_core.sh output carries no manifest),
+// m stamps the record instead, so every history line has provenance.
+func AppendHistory(path string, s *Suite, m *telemetry.Manifest) error {
+	rec := HistoryRecord{Manifest: s.Manifest, Suite: *s}
+	if rec.Manifest == nil {
+		rec.Manifest = m
+	}
+	rec.Suite.Manifest = nil // lives on the record, not duplicated inside
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,75 @@
+package benchdiff
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyP returns the two-sided p-value of the Mann-Whitney U
+// test (Wilcoxon rank-sum) comparing samples a and b: the probability
+// of seeing a rank separation at least this extreme if both came from
+// the same distribution. It uses the normal approximation with
+// midranks for ties, the tie-corrected variance, and a 0.5 continuity
+// correction — standard for the small-n regime benchmark runs live in
+// (the approximation is conventionally accepted from n≈8 and is only
+// used here as a noise gate, never as the sole regression signal).
+// Degenerate inputs (either side empty, or all values identical)
+// return 1: no evidence of a shift.
+func MannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midrank assignment: each tie group of size t spanning ranks
+	// [i+1, i+t] gets the average rank; the group also contributes
+	// t³-t to the tie correction term.
+	var rankSumA, tieSum float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		midrank := (float64(i+1) + float64(j)) / 2
+		for k := i; k < j; k++ {
+			if all[k].fromA {
+				rankSumA += midrank
+			}
+		}
+		tieSum += t*t*t - t
+		i = j
+	}
+
+	u := rankSumA - n1*(n1+1)/2
+	mu := n1 * n2 / 2
+	nTot := n1 + n2
+	variance := n1 * n2 / 12 * (nTot + 1 - tieSum/(nTot*(nTot-1)))
+	if variance <= 0 {
+		return 1 // every value tied with every other
+	}
+	z := u - mu
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	return math.Erfc(math.Abs(z) / math.Sqrt2)
+}

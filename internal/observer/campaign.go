@@ -24,6 +24,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/nvram"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -127,6 +128,11 @@ type CampaignConfig struct {
 	// progress sequence, first failure, minimized repro — is identical
 	// at any worker count.
 	Sweep sweep.Config
+	// Spans, when non-nil, records wall-clock spans for the campaign's
+	// phases: graph build, scenario generation, per-scenario classify
+	// (under category "campaign"), and failure minimization. Set
+	// Sweep.Spans too to get per-item worker attribution.
+	Spans *telemetry.SpanTracer
 }
 
 func (c *CampaignConfig) normalize() {
@@ -268,7 +274,9 @@ func classify(g *graph.Graph, c graph.Cut, p fault.Plan, rec CheckedRecoverFunc,
 // into a replayable repro.
 func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg CampaignConfig) (CampaignOutcome, error) {
 	cfg.normalize()
+	sp := cfg.Spans.Start("campaign", "graph-build").Arg("model", p.Model.String())
 	g, err := graph.Build(tr, p)
+	sp.End()
 	if err != nil {
 		return CampaignOutcome{}, err
 	}
@@ -297,6 +305,7 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 		c    graph.Cut
 		plan fault.Plan
 	}
+	genSpan := cfg.Spans.Start("campaign", "scenario-gen").Arg("scenarios", cfg.Scenarios)
 	scens := make([]scenario, cfg.Scenarios)
 	for i := 0; i < cfg.Scenarios; i++ {
 		var c graph.Cut
@@ -309,6 +318,7 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 		words := g.Materialize(c).WrittenWords()
 		scens[i] = scenario{c: c, plan: fault.GenPlan(rng, g, c, words, cfg.Gen)}
 	}
+	genSpan.End()
 
 	// Phase 2, parallel: classification and device scheduling only read
 	// the shared graph; verdicts merge back in scenario order, keeping
@@ -323,7 +333,9 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 	firstIdx := -1
 	err = sweep.Run(cfg.Scenarios, cfg.Sweep.Named("campaign"),
 		func(i int) (verdict, error) {
+			csp := cfg.Spans.Start("campaign", "classify").Arg("scenario", i)
 			class, rep, cerr := classify(g, scens[i].c, scens[i].plan, rec, maxRetries)
+			csp.End()
 			v := verdict{class: class, rep: rep, cerr: cerr}
 			if cfg.Device.Latency > 0 {
 				if prof := scens[i].plan.RetryProfile(); len(prof) > 0 {
@@ -387,6 +399,7 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 	// guarantees this is the same failure the sequential campaign
 	// would have minimized.
 	if firstIdx >= 0 {
+		msp := cfg.Spans.Start("campaign", "minimize").Arg("scenario", firstIdx)
 		class := out.FirstFailureClass
 		mc, mp := scens[firstIdx].c, scens[firstIdx].plan
 		if class == AnnotationCorrupt {
@@ -399,6 +412,7 @@ func Campaign(tr *trace.Trace, p core.Params, rec CheckedRecoverFunc, cfg Campai
 			}, cfg.MinimizeBudget)
 		}
 		out.FirstFailure = &fault.Scenario{Params: cfg.Params, Cut: mc, Plan: mp}
+		msp.End()
 	}
 	return out, nil
 }

@@ -38,6 +38,11 @@ type Config struct {
 	// (items still unclaimed at each dequeue), and a
 	// sweep_items_total counter, all labeled {sweep="Name"}.
 	Registry *telemetry.Registry
+	// Spans, when non-nil, records one wall-clock span per grid item
+	// (category "sweep", name Name, worker attribution, item index) —
+	// per-worker span totals reconcile with the Registry's items/busy
+	// telemetry.
+	Spans *telemetry.SpanTracer
 }
 
 // Workers resolves the effective worker count.
@@ -106,12 +111,19 @@ func Run[T any](n int, cfg Config, fn func(i int) (T, error), merge func(i int, 
 	}
 	g := cfg.gauges()
 
+	spanName := cfg.Name
+	if spanName == "" {
+		spanName = "sweep"
+	}
+
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if g.depth != nil {
 				g.depth.Observe(float64(n - i - 1))
 			}
+			sp := cfg.Spans.Start("sweep", spanName).Worker(0).Arg("item", i)
 			v, err := fn(i)
+			sp.End()
 			if g.items != nil {
 				g.items.Inc()
 			}
@@ -136,7 +148,7 @@ func Run[T any](n int, cfg Config, fn func(i int) (T, error), merge func(i int, 
 	ch := make(chan result[T], workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for !stopped.Load() {
 				i := int(next.Add(1)) - 1
@@ -149,7 +161,9 @@ func Run[T any](n int, cfg Config, fn func(i int) (T, error), merge func(i int, 
 				if g.busy != nil {
 					g.busy.Set(float64(busy.Add(1)))
 				}
+				sp := cfg.Spans.Start("sweep", spanName).Worker(worker).Arg("item", i)
 				v, err := fn(i)
+				sp.End()
 				if g.busy != nil {
 					g.busy.Set(float64(busy.Add(-1)))
 				}
@@ -161,7 +175,7 @@ func Run[T any](n int, cfg Config, fn func(i int) (T, error), merge func(i int, 
 				}
 				ch <- result[T]{i, v, err}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()

@@ -52,18 +52,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 }
 
 // EncodeChromeTrace writes one Chrome trace-event JSON document holding
-// every given tracer as its own process.
+// every given tracer as its own process. EncodeChromeTraceDoc
+// additionally embeds the run manifest and wall-clock spans.
 func EncodeChromeTrace(w io.Writer, tracers ...*Tracer) error {
-	var events []chromeEvent
-	for i, t := range tracers {
-		events = append(events, t.chromeEvents(int64(i)+1)...)
-	}
-	doc := struct {
-		TraceEvents     []chromeEvent `json:"traceEvents"`
-		DisplayTimeUnit string        `json:"displayTimeUnit"`
-	}{TraceEvents: events, DisplayTimeUnit: "ms"}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	return EncodeChromeTraceDoc(w, nil, nil, tracers...)
+}
+
+// writeCompactJSON encodes v unindented with a trailing newline.
+func writeCompactJSON(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
 }
 
 func dur(d int64) *int64 {

@@ -321,8 +321,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format (version 0.0.4). Series sharing a base name are grouped under
-// one TYPE/HELP header; output order follows registration order.
+// format (version 0.0.4). Series are grouped into metric families by
+// base name — the format requires every line of a family to be
+// contiguous, which raw registration order cannot guarantee when
+// series of different families interleave — and families are emitted
+// in sorted base-name order; within a family, series keep registration
+// order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
@@ -336,13 +340,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.Unlock()
 
-	written := make(map[string]bool) // base names with header emitted
+	// Group registered series into families; timers export under their
+	// _seconds-suffixed base name.
+	exportBase := func(name string) string {
+		if _, ok := series[name].(*Timer); ok {
+			return baseName(timerName(name))
+		}
+		return baseName(name)
+	}
+	families := make(map[string][]string)
+	var famOrder []string
+	for _, name := range names {
+		base := exportBase(name)
+		if _, ok := families[base]; !ok {
+			famOrder = append(famOrder, base)
+		}
+		families[base] = append(families[base], name)
+	}
+	sort.Strings(famOrder)
+
 	var b strings.Builder
 	header := func(base, kind string) {
-		if written[base] {
-			return
-		}
-		written[base] = true
 		if h := help[base]; h != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", base, h)
 		}
@@ -350,7 +368,6 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	histo := func(name string, hs HistogramSnapshot) {
 		base, labels := baseName(name), labelPart(name)
-		header(base, "histogram")
 		cum := int64(0)
 		for i, bound := range hs.Bounds {
 			cum += hs.Counts[i]
@@ -360,18 +377,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "%s_sum%s %s\n", base, labels, formatFloat(hs.Sum))
 		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, hs.Count)
 	}
-	for _, name := range names {
-		switch m := series[name].(type) {
+	for _, base := range famOrder {
+		members := families[base]
+		switch series[members[0]].(type) {
 		case *Counter:
-			header(baseName(name), "counter")
-			fmt.Fprintf(&b, "%s %d\n", name, m.Value())
+			header(base, "counter")
 		case *Gauge:
-			header(baseName(name), "gauge")
-			fmt.Fprintf(&b, "%s %s\n", name, formatFloat(m.Value()))
-		case *Histogram:
-			histo(name, m.snapshot())
-		case *Timer:
-			histo(timerName(name), m.h.snapshot())
+			header(base, "gauge")
+		case *Histogram, *Timer:
+			header(base, "histogram")
+		}
+		for _, name := range members {
+			switch m := series[name].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s %d\n", name, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s %s\n", name, formatFloat(m.Value()))
+			case *Histogram:
+				histo(name, m.snapshot())
+			case *Timer:
+				histo(timerName(name), m.h.snapshot())
+			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -1,0 +1,323 @@
+package telemetry
+
+import (
+	"bytes"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Conformance test for the Prometheus text exposition (format 0.0.4):
+// a strict line parser walks the full output and enforces the format
+// rules a real scraper relies on — contiguous families, HELP/TYPE
+// ordering, sorted family order, valid label syntax and escaping,
+// cumulative histogram buckets with le="+Inf" equal to _count, and
+// float formatting. Registrations are deliberately interleaved across
+// families so any grouping regression splits a family and fails here.
+
+type promSample struct {
+	name   string // base name without labels
+	labels string // raw label block including braces, "" if none
+	value  float64
+	raw    string
+}
+
+type promFamily struct {
+	name    string
+	kind    string
+	help    string
+	samples []promSample
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var promLabelKeyRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// parsePromSample splits `name{k="v",...} value` strictly, validating
+// label syntax and escape sequences.
+func parsePromSample(t *testing.T, line string) promSample {
+	t.Helper()
+	s := promSample{raw: line}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		s.name = rest[:brace]
+		end := parseLabelBlock(t, rest[brace:])
+		s.labels = rest[brace : brace+end]
+		rest = rest[brace+end:]
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			t.Fatalf("no value separator: %q", line)
+		}
+		s.name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !promNameRe.MatchString(s.name) {
+		t.Fatalf("bad metric name %q in %q", s.name, line)
+	}
+	if !strings.HasPrefix(rest, " ") {
+		t.Fatalf("missing single-space separator: %q", line)
+	}
+	valStr := rest[1:]
+	var err error
+	switch valStr {
+	case "+Inf":
+		s.value = inf()
+	case "-Inf":
+		s.value = -inf()
+	default:
+		s.value, err = strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value %q in %q: %v", valStr, line, err)
+		}
+	}
+	return s
+}
+
+func inf() float64 { v := 0.0; return 1 / v }
+
+// parseLabelBlock validates a `{k="v",...}` block starting at in[0]=='{'
+// and returns its length. It enforces key syntax and that values only
+// escape \\, \", and \n.
+func parseLabelBlock(t *testing.T, in string) int {
+	t.Helper()
+	i := 1 // past '{'
+	for {
+		start := i
+		for i < len(in) && in[i] != '=' {
+			i++
+		}
+		key := in[start:i]
+		if !promLabelKeyRe.MatchString(key) {
+			t.Fatalf("bad label key %q in %q", key, in)
+		}
+		i++ // '='
+		if i >= len(in) || in[i] != '"' {
+			t.Fatalf("label value not quoted in %q", in)
+		}
+		i++
+		for i < len(in) && in[i] != '"' {
+			if in[i] == '\\' {
+				if i+1 >= len(in) || !strings.ContainsRune(`\"n`, rune(in[i+1])) {
+					t.Fatalf("bad escape at %d in %q", i, in)
+				}
+				i++
+			}
+			if in[i] == '\n' {
+				t.Fatalf("raw newline inside label value in %q", in)
+			}
+			i++
+		}
+		if i >= len(in) {
+			t.Fatalf("unterminated label value in %q", in)
+		}
+		i++ // closing quote
+		if i < len(in) && in[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1
+		}
+		t.Fatalf("expected ',' or '}' at %d in %q", i, in)
+	}
+}
+
+// parsePromText parses the whole exposition into families, enforcing
+// the structural rules as it goes.
+func parsePromText(t *testing.T, text string) []promFamily {
+	t.Helper()
+	var fams []promFamily
+	seen := map[string]bool{}
+	var cur *promFamily
+	var pendingHelp, pendingHelpName string
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("malformed HELP: %q", line)
+			}
+			pendingHelpName, pendingHelp = parts[0], parts[1]
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE: %q", line)
+			}
+			name, kind := parts[0], parts[1]
+			if seen[name] {
+				t.Fatalf("family %q re-opened: families must be contiguous", name)
+			}
+			seen[name] = true
+			if pendingHelpName != "" && pendingHelpName != name {
+				t.Fatalf("HELP for %q not followed by its TYPE (got %q)", pendingHelpName, name)
+			}
+			fams = append(fams, promFamily{name: name, kind: kind, help: pendingHelp})
+			cur = &fams[len(fams)-1]
+			pendingHelp, pendingHelpName = "", ""
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unexpected comment line: %q", line)
+		default:
+			s := parsePromSample(t, line)
+			if cur == nil {
+				t.Fatalf("sample before any TYPE: %q", line)
+			}
+			base := s.name
+			if cur.kind == "histogram" {
+				base = strings.TrimSuffix(base, "_bucket")
+				base = strings.TrimSuffix(base, "_sum")
+				base = strings.TrimSuffix(base, "_count")
+			}
+			if base != cur.name {
+				t.Fatalf("sample %q under family %q: families must be contiguous", s.name, cur.name)
+			}
+			cur.samples = append(cur.samples, s)
+		}
+	}
+	return fams
+}
+
+func leValue(t *testing.T, labels string) float64 {
+	t.Helper()
+	m := regexp.MustCompile(`le="([^"]*)"`).FindStringSubmatch(labels)
+	if m == nil {
+		t.Fatalf("bucket without le label: %q", labels)
+	}
+	if m[1] == "+Inf" {
+		return inf()
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("bad le %q: %v", m[1], err)
+	}
+	return v
+}
+
+func TestWritePrometheusConformance(t *testing.T) {
+	reg := NewRegistry()
+	// Interleave registrations across three families: the exporter must
+	// regroup them into contiguous blocks.
+	reg.SetHelp("sweep_items_total", "items completed per sweep")
+	reg.Counter(Label("sweep_items_total", "sweep", "table1")).Add(12)
+	reg.Gauge(Label("sweep_workers_busy", "sweep", "table1")).Set(3)
+	reg.Counter(Label("sweep_items_total", "sweep", "fig3")).Add(7)
+	h := reg.Histogram(Label("sweep_queue_depth", "sweep", "table1"), 1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	reg.Counter(Label("sweep_items_total", "sweep", "window")).Add(1)
+	// Label escaping: backslash, quote, newline.
+	reg.Gauge(Label("escape_check", "path", `a\b`, "quote", `say "hi"`, "nl", "l1\nl2")).Set(1)
+	// Float formatting: integral gauge must not use an exponent.
+	reg.Gauge("big_integral").Set(1234567)
+	reg.Gauge("fractional").Set(0.125)
+	// Timer: exports as a _seconds histogram family.
+	stop := reg.Timer("phase").Time()
+	stop()
+	// Manifest info metric participates like any gauge family.
+	(&Manifest{Tool: "t", GitSHA: "abc", GoVersion: "go", OS: "linux", Arch: "amd64", GOMAXPROCS: 4}).InfoMetric(reg)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	fams := parsePromText(t, text)
+
+	byName := map[string]*promFamily{}
+	var order []string
+	for i := range fams {
+		byName[fams[i].name] = &fams[i]
+		order = append(order, fams[i].name)
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Errorf("families not sorted: %v", order)
+	}
+
+	items := byName["sweep_items_total"]
+	if items == nil || items.kind != "counter" {
+		t.Fatalf("sweep_items_total family: %+v", items)
+	}
+	if items.help != "items completed per sweep" {
+		t.Errorf("help = %q", items.help)
+	}
+	if len(items.samples) != 3 {
+		t.Errorf("sweep_items_total has %d samples, want 3 (family split?)", len(items.samples))
+	}
+
+	// Histogram: cumulative buckets, ascending le, +Inf == count.
+	depth := byName["sweep_queue_depth"]
+	if depth == nil || depth.kind != "histogram" {
+		t.Fatalf("sweep_queue_depth family: %+v", depth)
+	}
+	var buckets []promSample
+	var count, sum *promSample
+	for i := range depth.samples {
+		s := &depth.samples[i]
+		switch s.name {
+		case "sweep_queue_depth_bucket":
+			buckets = append(buckets, *s)
+		case "sweep_queue_depth_count":
+			count = s
+		case "sweep_queue_depth_sum":
+			sum = s
+		}
+	}
+	if count == nil || sum == nil || len(buckets) != 4 {
+		t.Fatalf("histogram lines: %d buckets, count %v, sum %v", len(buckets), count, sum)
+	}
+	prevLe, prevCum := -inf(), -1.0
+	for _, b := range buckets {
+		le := leValue(t, b.labels)
+		if le <= prevLe {
+			t.Errorf("le not ascending: %v after %v", le, prevLe)
+		}
+		if b.value < prevCum {
+			t.Errorf("bucket counts not cumulative: %v after %v", b.value, prevCum)
+		}
+		prevLe, prevCum = le, b.value
+	}
+	last := buckets[len(buckets)-1]
+	if le := leValue(t, last.labels); le != inf() {
+		t.Errorf("final bucket le = %v, want +Inf", le)
+	}
+	if last.value != count.value {
+		t.Errorf("le=+Inf bucket %v != count %v", last.value, count.value)
+	}
+	if count.value != 4 || sum.value != 105 {
+		t.Errorf("count %v sum %v, want 4 and 105", count.value, sum.value)
+	}
+
+	// Escaping round-trip: the raw line must contain the escaped forms.
+	esc := byName["escape_check"]
+	if esc == nil {
+		t.Fatal("escape_check family missing")
+	}
+	raw := esc.samples[0].raw
+	for _, want := range []string{`path="a\\b"`, `quote="say \"hi\""`, `nl="l1\nl2"`} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("escaped label %s missing from %q", want, raw)
+		}
+	}
+
+	// Float formatting.
+	if !strings.Contains(text, "big_integral 1234567\n") {
+		t.Error("integral gauge not rendered without exponent")
+	}
+	if !strings.Contains(text, "fractional 0.125\n") {
+		t.Error("fractional gauge misrendered")
+	}
+
+	// Timer family exported under the _seconds unit suffix.
+	if f := byName["phase_seconds"]; f == nil || f.kind != "histogram" {
+		t.Errorf("phase_seconds family: %+v", f)
+	}
+	if f := byName["run_info"]; f == nil || f.kind != "gauge" || f.samples[0].value != 1 {
+		t.Errorf("run_info family: %+v", f)
+	}
+}

@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanTracer records wall-clock spans of the harness itself — sweep
+// items with worker attribution, trace-cache generate/replay work,
+// graph builds, campaign classify/minimize phases — as opposed to the
+// persist-timeline Tracer, whose x-axis is logical program time. Spans
+// export in the same Chrome trace-event format (WriteChromeTrace), so
+// Perfetto shows where the harness spent real time next to where the
+// simulated workload spent logical time, and every ended span feeds a
+// per-category duration histogram (harness_span_seconds{span="..."})
+// into the metrics registry.
+//
+// All methods are safe for concurrent use, and the whole API is
+// nil-safe: a nil *SpanTracer records nothing and a nil *Span ignores
+// End/Worker/Arg, so instrumented code threads an optional tracer
+// without branching (the trace-cache idiom).
+type SpanTracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	reg   *Registry // optional; receives harness_span_seconds
+	spans []SpanRecord
+}
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	// Cat groups spans by harness subsystem ("sweep", "trace-cache",
+	// "campaign", "graph"); the registry histogram is per-category.
+	Cat string
+	// Name is the specific operation (sweep label, "generate", ...).
+	Name string
+	// Worker is the sweep worker that ran the span, or -1 when the span
+	// has no worker attribution (it renders on the "main" lane).
+	Worker int
+	// Start is the offset from the tracer's epoch; Dur the wall time.
+	Start time.Duration
+	Dur   time.Duration
+	// Args carries extra provenance into the Chrome trace (item index,
+	// workload key, hit/miss).
+	Args map[string]any
+}
+
+// NewSpanTracer returns a tracer whose epoch is now. reg may be nil;
+// when set, every ended span observes a harness_span_seconds{span=cat}
+// histogram in it.
+func NewSpanTracer(reg *Registry) *SpanTracer {
+	if reg != nil {
+		reg.SetHelp("harness_span_seconds", "wall-clock duration of harness spans, by category")
+	}
+	return &SpanTracer{epoch: time.Now(), reg: reg}
+}
+
+// Span is an open span; End completes and records it.
+type Span struct {
+	t     *SpanTracer
+	rec   SpanRecord
+	start time.Time
+}
+
+// Start opens a span. Safe on a nil tracer (returns nil; the nil *Span
+// no-ops).
+func (t *SpanTracer) Start(cat, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, rec: SpanRecord{Cat: cat, Name: name, Worker: -1}, start: time.Now()}
+}
+
+// Worker attributes the span to a sweep worker index. Chainable;
+// nil-safe.
+func (s *Span) Worker(w int) *Span {
+	if s != nil {
+		s.rec.Worker = w
+	}
+	return s
+}
+
+// Arg attaches one provenance argument. Chainable; nil-safe.
+func (s *Span) Arg(k string, v any) *Span {
+	if s == nil {
+		return s
+	}
+	if s.rec.Args == nil {
+		s.rec.Args = make(map[string]any, 4)
+	}
+	s.rec.Args[k] = v
+	return s
+}
+
+// End completes the span, appends it to the tracer, and observes the
+// per-category duration histogram. Nil-safe; ending twice records
+// twice (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	s.rec.Start = s.start.Sub(t.epoch)
+	s.rec.Dur = time.Since(s.start)
+	t.mu.Lock()
+	t.spans = append(t.spans, s.rec)
+	reg := t.reg
+	t.mu.Unlock()
+	if reg != nil {
+		reg.Histogram(Label("harness_span_seconds", "span", s.rec.Cat), spanDurationBounds...).
+			Observe(s.rec.Dur.Seconds())
+	}
+}
+
+// spanDurationBounds bucket harness spans: microseconds (cache hits)
+// through minutes (whole campaigns).
+var spanDurationBounds = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30, 120,
+}
+
+// Len returns the number of completed spans. Nil-safe.
+func (t *SpanTracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the completed spans. Nil-safe.
+func (t *SpanTracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// SpanTotal aggregates spans for one worker lane.
+type SpanTotal struct {
+	Count int
+	Busy  time.Duration
+}
+
+// WorkerTotals aggregates completed spans by worker index, filtered by
+// category and name ("" matches any) — the reconciliation surface:
+// summing Count over workers for cat "sweep" and a sweep's label must
+// equal that sweep's sweep_items_total counter. Nil-safe.
+func (t *SpanTracer) WorkerTotals(cat, name string) map[int]SpanTotal {
+	out := make(map[int]SpanTotal)
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		sp := &t.spans[i]
+		if (cat != "" && sp.Cat != cat) || (name != "" && sp.Name != name) {
+			continue
+		}
+		tot := out[sp.Worker]
+		tot.Count++
+		tot.Busy += sp.Dur
+		out[sp.Worker] = tot
+	}
+	return out
+}
+
+// spanPID is the Chrome trace process id of the wall-clock lane set;
+// persist-timeline tracers occupy pids 1..n, so the harness process
+// sorts after them.
+const spanPID = 1000
+
+// chromeEvents renders the span set as one Chrome trace process with a
+// lane per worker (plus a "main" lane for unattributed spans).
+func (t *SpanTracer) chromeEvents() []chromeEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+
+	ev := []chromeEvent{
+		{Ph: "M", Name: "process_name", PID: spanPID,
+			Args: map[string]any{"name": "harness (wall clock)"}},
+		{Ph: "M", Name: "process_sort_index", PID: spanPID,
+			Args: map[string]any{"sort_index": spanPID}},
+	}
+	workers := make(map[int]bool)
+	for i := range spans {
+		workers[spans[i].Worker] = true
+	}
+	lanes := make([]int, 0, len(workers))
+	for w := range workers {
+		lanes = append(lanes, w)
+	}
+	sort.Ints(lanes)
+	for _, w := range lanes {
+		name := "main"
+		if w >= 0 {
+			name = fmt.Sprintf("worker %d", w)
+		}
+		ev = append(ev,
+			chromeEvent{Ph: "M", Name: "thread_name", PID: spanPID, TID: spanTID(w),
+				Args: map[string]any{"name": name}},
+			chromeEvent{Ph: "M", Name: "thread_sort_index", PID: spanPID, TID: spanTID(w),
+				Args: map[string]any{"sort_index": spanTID(w)}},
+		)
+	}
+	for i := range spans {
+		sp := &spans[i]
+		args := map[string]any{"worker": sp.Worker}
+		for k, v := range sp.Args {
+			args[k] = v
+		}
+		ev = append(ev, chromeEvent{
+			Ph: "X", Cat: sp.Cat, Name: sp.Name,
+			PID: spanPID, TID: spanTID(sp.Worker),
+			TS: sp.Start.Microseconds(), Dur: dur(sp.Dur.Microseconds()),
+			Args: args,
+		})
+	}
+	return ev
+}
+
+// spanTID maps a worker index to a Chrome lane: main first, then
+// workers in order.
+func spanTID(worker int) int64 {
+	if worker < 0 {
+		return 0
+	}
+	return int64(worker) + 1
+}
+
+// WriteChromeTrace exports the wall-clock spans alone, with the
+// manifest (may be nil) in the document metadata.
+func (t *SpanTracer) WriteChromeTrace(w io.Writer, m *Manifest) error {
+	return EncodeChromeTraceDoc(w, m, t)
+}
+
+// EncodeChromeTraceDoc writes one Chrome trace-event JSON document
+// holding the wall-clock span process (spans may be nil), every given
+// persist-timeline tracer as its own process, and the run manifest
+// (may be nil) under metadata.manifest — Perfetto and chrome://tracing
+// ignore unknown top-level keys but keep them in "Info and stats".
+func EncodeChromeTraceDoc(w io.Writer, m *Manifest, spans *SpanTracer, tracers ...*Tracer) error {
+	var events []chromeEvent
+	for i, t := range tracers {
+		events = append(events, t.chromeEvents(int64(i)+1)...)
+	}
+	events = append(events, spans.chromeEvents()...)
+	doc := struct {
+		TraceEvents     []chromeEvent  `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		Metadata        map[string]any `json:"metadata,omitempty"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if m != nil {
+		doc.Metadata = map[string]any{"manifest": m}
+	}
+	return writeCompactJSON(w, doc)
+}

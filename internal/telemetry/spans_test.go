@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSpanTracerNoOps(t *testing.T) {
+	var tr *SpanTracer
+	sp := tr.Start("sweep", "x").Worker(3).Arg("item", 1)
+	sp.End()
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Error("nil tracer recorded something")
+	}
+	if got := tr.WorkerTotals("", ""); len(got) != 0 {
+		t.Errorf("nil tracer totals = %v", got)
+	}
+}
+
+func TestSpanRecordingAndHistogram(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewSpanTracer(reg)
+	tr.Start("sweep", "table1").Worker(0).Arg("item", 0).End()
+	tr.Start("sweep", "table1").Worker(1).Arg("item", 1).End()
+	tr.Start("graph", "build").End()
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	spans := tr.Spans()
+	if spans[2].Worker != -1 {
+		t.Errorf("unattributed span worker = %d, want -1", spans[2].Worker)
+	}
+	for _, sp := range spans {
+		if sp.Dur < 0 || sp.Start < 0 {
+			t.Errorf("negative timing: %+v", sp)
+		}
+	}
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	if !strings.Contains(text, `harness_span_seconds_count{span="sweep"} 2`) {
+		t.Errorf("missing sweep span histogram:\n%s", text)
+	}
+	if !strings.Contains(text, `harness_span_seconds_count{span="graph"} 1`) {
+		t.Errorf("missing graph span histogram:\n%s", text)
+	}
+}
+
+func TestWorkerTotalsFilters(t *testing.T) {
+	tr := NewSpanTracer(nil)
+	tr.Start("sweep", "table1").Worker(0).End()
+	tr.Start("sweep", "table1").Worker(0).End()
+	tr.Start("sweep", "table1").Worker(1).End()
+	tr.Start("sweep", "fig3").Worker(0).End()
+	tr.Start("trace-cache", "generate").Worker(1).End()
+
+	tot := tr.WorkerTotals("sweep", "table1")
+	if tot[0].Count != 2 || tot[1].Count != 1 {
+		t.Errorf("table1 totals = %v", tot)
+	}
+	if all := tr.WorkerTotals("sweep", ""); all[0].Count != 3 || all[1].Count != 1 {
+		t.Errorf("sweep wildcard totals = %v", all)
+	}
+	if any := tr.WorkerTotals("", ""); any[0].Count != 3 || any[1].Count != 2 {
+		t.Errorf("full wildcard totals = %v", any)
+	}
+}
+
+func TestSpanTracerConcurrentUse(t *testing.T) {
+	tr := NewSpanTracer(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Start("sweep", "load").Worker(w).Arg("item", i).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 400 {
+		t.Errorf("Len = %d, want 400", tr.Len())
+	}
+	total := 0
+	for _, tot := range tr.WorkerTotals("sweep", "load") {
+		total += tot.Count
+	}
+	if total != 400 {
+		t.Errorf("summed totals = %d, want 400", total)
+	}
+}
+
+// chromeDoc mirrors the trace-event JSON envelope for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Ph   string         `json:"ph"`
+		Cat  string         `json:"cat,omitempty"`
+		Name string         `json:"name"`
+		PID  int64          `json:"pid"`
+		TID  int64          `json:"tid"`
+		TS   int64          `json:"ts"`
+		Dur  int64          `json:"dur,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata"`
+}
+
+func TestChromeTraceDocValidWithManifest(t *testing.T) {
+	tr := NewSpanTracer(nil)
+	tr.Start("sweep", "table1").Worker(0).Arg("item", 0).End()
+	tr.Start("campaign", "minimize").End()
+	m := NewManifest("pqbench")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid Chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	man, ok := doc.Metadata["manifest"].(map[string]any)
+	if !ok || man["tool"] != "pqbench" {
+		t.Errorf("metadata.manifest = %v", doc.Metadata["manifest"])
+	}
+
+	var procName string
+	lanes := map[int64]string{}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procName, _ = ev.Args["name"].(string)
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			lanes[ev.TID], _ = ev.Args["name"].(string)
+		case ev.Ph == "X":
+			slices++
+			if ev.PID != spanPID {
+				t.Errorf("slice pid = %d, want %d", ev.PID, spanPID)
+			}
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("slice timing: %+v", ev)
+			}
+		}
+	}
+	if procName != "harness (wall clock)" {
+		t.Errorf("process name = %q", procName)
+	}
+	if lanes[0] != "main" || lanes[1] != "worker 0" {
+		t.Errorf("lanes = %v", lanes)
+	}
+	if slices != 2 {
+		t.Errorf("slices = %d, want 2", slices)
+	}
+}
+
+// The combined document must keep persist-timeline tracers and the
+// wall-clock span process separate.
+func TestEncodeChromeTraceDocCombines(t *testing.T) {
+	spans := NewSpanTracer(nil)
+	spans.Start("graph", "build").End()
+	var buf bytes.Buffer
+	if err := EncodeChromeTraceDoc(&buf, nil, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metadata != nil {
+		t.Errorf("metadata present without manifest: %v", doc.Metadata)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("no events")
+	}
+}

@@ -3,13 +3,17 @@
 # single-pass multi-model walk, trace replay, graph build) and writes
 # BENCH_core.json with ns/op, B/op, and allocs/op per benchmark.
 #
-# Usage: scripts/bench_core.sh [benchtime] > BENCH_core.json
-# benchtime defaults to 100x; CI uses 1x for a smoke pass.
+# Usage: scripts/bench_core.sh [benchtime] [count] > BENCH_core.json
+# benchtime defaults to 100x; CI uses 1x for a smoke pass. A count > 1
+# repeats every benchmark (go test -count), leaving repeated names in
+# the JSON — benchdiff groups those into per-iteration samples and can
+# then apply its Mann-Whitney noise gate instead of thresholds alone.
 set -e
 benchtime="${1:-100x}"
+count="${2:-1}"
 cd "$(dirname "$0")/.."
 
-go test -run '^$' -benchmem -benchtime "$benchtime" \
+go test -run '^$' -benchmem -benchtime "$benchtime" -count "$count" \
     -bench 'BenchmarkSimFeed|BenchmarkSimulateAll|BenchmarkTraceReplay|BenchmarkTraceEmit|BenchmarkGraphBuild' \
     ./internal/core ./internal/trace ./internal/graph |
 awk -v benchtime="$benchtime" '
