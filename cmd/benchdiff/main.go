@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 
 	"repro/internal/benchdiff"
 	"repro/internal/telemetry"
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		all            = fs.Bool("all", false, "print every paired benchmark, not just significant deltas")
 		history        = fs.String("history", "", "BENCH_history.jsonl to use as baseline (newest record) instead of an OLD.json argument")
 		appendHist     = fs.Bool("append", false, "append NEW.json to -history as a manifest-stamped record after comparing")
+		benchRe        = fs.String("bench", "", "regexp restricting the comparison to matching benchmark names (like go test -bench)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
@@ -92,12 +94,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	cmpOld, cmpNew := oldS, newS
+	if *benchRe != "" {
+		re, rerr := regexp.Compile(*benchRe)
+		if rerr != nil {
+			fmt.Fprintf(stderr, "benchdiff: bad -bench regexp: %v\n", rerr)
+			return 2
+		}
+		cmpOld, cmpNew = oldS.Filter(re), newS.Filter(re)
+		if len(cmpNew.Benchmarks) == 0 {
+			fmt.Fprintf(stderr, "benchdiff: -bench %q matches no benchmark in %s\n", *benchRe, fs.Arg(fs.NArg()-1))
+			return 2
+		}
+	}
+
 	opts := benchdiff.Options{
 		NsThreshold:    *threshold,
 		AllocThreshold: *allocThreshold,
 		Alpha:          *alpha,
 	}
-	deltas := benchdiff.Compare(oldS, newS, opts)
+	deltas := benchdiff.Compare(cmpOld, cmpNew, opts)
 	if len(deltas) == 0 {
 		fmt.Fprintln(stderr, "benchdiff: no benchmarks in common")
 		return 2

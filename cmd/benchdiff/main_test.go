@@ -164,3 +164,49 @@ func TestAppendRequiresHistory(t *testing.T) {
 		t.Fatalf("exit = %d, want 2", code)
 	}
 }
+
+// -bench restricts the comparison: a regression outside the filter is
+// invisible; inside it, the gate still fires. A filter matching
+// nothing is a usage error.
+func TestBenchFilterRestrictsComparison(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSuite(t, dir, "old.json", baseSuite)
+	// Regress SimFeed by 2x; GraphBuild unchanged.
+	regressed := strings.Replace(baseSuite, `"ns_per_op": 598429`, `"ns_per_op": 1196858`, 1)
+	neu := writeSuite(t, dir, "new.json", regressed)
+
+	var out, errb strings.Builder
+	code := run([]string{"-threshold", "0.20", "-bench", "BenchmarkGraphBuild", old, neu}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("filtered run exit = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkSimFeed") {
+		t.Errorf("filtered-out benchmark leaked into table:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-threshold", "0.20", "-bench", "BenchmarkSimFeed", old, neu}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("in-filter regression exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(errb.String(), "BenchmarkSimFeed/strict") {
+		t.Errorf("regressing benchmark not named:\n%s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-bench", "BenchmarkNoSuchThing", old, neu}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("empty filter exit = %d, want 2; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "matches no benchmark") {
+		t.Errorf("missing empty-filter diagnostic:\n%s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code = run([]string{"-bench", "(", old, neu}, &out, &errb); code != 2 {
+		t.Fatalf("bad regexp exit = %d, want 2", code)
+	}
+}

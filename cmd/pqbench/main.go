@@ -255,6 +255,9 @@ func main() {
 		}
 		sp := spans.Start("graph", "build").Arg("model", core.Epoch.String())
 		g, err := graph.Build(tr, core.Params{Model: core.Epoch})
+		if err == nil {
+			sp.Arg("frontier-ranges", g.Stats.FrontierRanges).Arg("peak-ranges", g.Stats.PeakRanges)
+		}
 		sp.End()
 		if err != nil {
 			return err
@@ -380,6 +383,9 @@ func main() {
 		}
 		sp := spans.Start("graph", "build").Arg("model", core.Epoch.String())
 		g, err := graph.Build(tr, core.Params{Model: core.Epoch})
+		if err == nil {
+			sp.Arg("frontier-ranges", g.Stats.FrontierRanges).Arg("peak-ranges", g.Stats.PeakRanges)
+		}
 		sp.End()
 		if err != nil {
 			return err

@@ -130,6 +130,8 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %d-node constraint graph (%v) to %s\n", g.Len(), model, *dot)
+		fmt.Printf("frontier: %d ranges live, %d peak, %d splits, %d coalesces\n",
+			g.Stats.FrontierRanges, g.Stats.PeakRanges, g.Stats.Splits, g.Stats.Coalesces)
 	}
 
 	if *out != "" {

@@ -18,6 +18,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 
@@ -55,6 +56,23 @@ func ReadSuite(path string) (*Suite, error) {
 		return nil, fmt.Errorf("benchdiff: %s: no benchmarks", path)
 	}
 	return &s, nil
+}
+
+// Filter returns a copy of the suite keeping only benchmarks whose
+// name matches re (nil keeps everything). Comparing a focused subset —
+// one hot path against its history — uses the same records as a full
+// comparison, just restricted.
+func (s *Suite) Filter(re *regexp.Regexp) *Suite {
+	if re == nil {
+		return s
+	}
+	out := &Suite{Suite: s.Suite, Benchtime: s.Benchtime, Manifest: s.Manifest}
+	for _, b := range s.Benchmarks {
+		if re.MatchString(b.Name) {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	return out
 }
 
 // Series is every measurement of one benchmark name in a suite, in

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/intervals"
 	"repro/internal/memory"
 	"repro/internal/trace"
 )
@@ -127,23 +128,35 @@ const (
 	pageMask  = pageWords - 1
 )
 
-// wordStore holds one address space's contents.
+// wordStore holds one address space's contents: an interval map from
+// page index to demand-allocated page. Only touched pages have entries,
+// so cost is proportional to resident data, not to the highest address
+// written — a store at base+1TiB costs one entry and one page, where
+// the former dense page-pointer slice would have materialized (and
+// grown one nil at a time) a quarter-billion slots. The map's locality
+// hint makes the repeated-page case (the hot path) a single compare.
 type wordStore struct {
 	base  memory.Addr
-	pages []*[pageWords]uint64
+	pages *intervals.Map[uint64, *[pageWords]uint64]
+}
+
+func newWordStore(base memory.Addr) wordStore {
+	// eq=nil: page entries are identity-valued and never coalesce, so
+	// every entry spans exactly one page index.
+	return wordStore{base: base, pages: intervals.NewMap[uint64, *[pageWords]uint64](nil)}
 }
 
 // load reads the word at the 8-byte-aligned address w; absent pages
-// (and addresses beyond the allocated extent) read as zero, matching
-// the map semantics this replaces — loadRaw's cross-word slow path may
-// probe one word past the end of an access's space.
+// read as zero, matching the map semantics this replaces — loadRaw's
+// cross-word slow path may probe one word past the end of an access's
+// space.
 func (ws *wordStore) load(w memory.Addr) uint64 {
 	off := uint64(w-ws.base) / memory.WordSize
-	p := off >> pageShift
-	if p >= uint64(len(ws.pages)) || ws.pages[p] == nil {
+	page, ok := ws.pages.Get(off >> pageShift)
+	if !ok {
 		return 0
 	}
-	return ws.pages[p][off&pageMask]
+	return page[off&pageMask]
 }
 
 // ptr returns the storage slot for the word at w, allocating its page
@@ -151,13 +164,27 @@ func (ws *wordStore) load(w memory.Addr) uint64 {
 func (ws *wordStore) ptr(w memory.Addr) *uint64 {
 	off := uint64(w-ws.base) / memory.WordSize
 	p := off >> pageShift
-	for p >= uint64(len(ws.pages)) {
-		ws.pages = append(ws.pages, nil)
+	page, ok := ws.pages.Get(p)
+	if !ok {
+		page = new([pageWords]uint64)
+		ws.pages.Set(p, p+1, page)
 	}
-	if ws.pages[p] == nil {
-		ws.pages[p] = new([pageWords]uint64)
-	}
-	return &ws.pages[p][off&pageMask]
+	return &page[off&pageMask]
+}
+
+// resident reports the store's page count and extent count (maximal
+// runs of contiguous resident pages).
+func (ws *wordStore) resident() (pages, extents int) {
+	next := uint64(0)
+	ws.pages.EachAll(func(r intervals.Range[uint64], _ *[pageWords]uint64) bool {
+		pages++
+		if r.Lo != next || extents == 0 {
+			extents++
+		}
+		next = r.Hi
+		return true
+	})
+	return pages, extents
 }
 
 // wordsOf selects the store owning the word at w. Word addresses from
@@ -186,8 +213,8 @@ func NewMachine(cfg Config) *Machine {
 		cfg:      cfg,
 		sink:     sink,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		volWords: wordStore{base: memory.VolatileBase},
-		perWords: wordStore{base: memory.PersistentBase},
+		volWords: newWordStore(memory.VolatileBase),
+		perWords: newWordStore(memory.PersistentBase),
 		PerHeap:  memory.NewHeap(memory.Persistent),
 		VolHeap:  memory.NewHeap(memory.Volatile),
 		yield:    make(chan yieldMsg, cfg.Threads+1),
@@ -353,16 +380,36 @@ func (m *Machine) storeRaw(a memory.Addr, size int, v uint64) {
 // states against prefixes of this.
 func (m *Machine) PersistentImage() *memory.Image {
 	im := memory.NewImage()
-	for pi, page := range m.perWords.pages {
-		if page == nil {
-			continue
-		}
-		base := m.perWords.base + memory.Addr(pi*pageWords*memory.WordSize)
+	m.perWords.pages.EachAll(func(r intervals.Range[uint64], page *[pageWords]uint64) bool {
+		base := m.perWords.base + memory.Addr(r.Lo*pageWords*memory.WordSize)
 		for si, w := range page {
 			if w != 0 {
 				im.WriteWord(base+memory.Addr(si*memory.WordSize), w)
 			}
 		}
-	}
+		return true
+	})
 	return im
+}
+
+// MemStats describes the machine's resident simulated memory: what the
+// sparse page index actually materialized, per address space. Bytes
+// count page payloads (resident pages × page size); extents are maximal
+// runs of contiguous pages, the fragmentation view the CLIs report.
+type MemStats struct {
+	VolPages, PerPages     int
+	VolBytes, PerBytes     uint64
+	VolExtents, PerExtents int
+}
+
+// MemStats snapshots resident-memory statistics.
+func (m *Machine) MemStats() MemStats {
+	const pageBytes = pageWords * memory.WordSize
+	vp, ve := m.volWords.resident()
+	pp, pe := m.perWords.resident()
+	return MemStats{
+		VolPages: vp, PerPages: pp,
+		VolBytes: uint64(vp) * pageBytes, PerBytes: uint64(pp) * pageBytes,
+		VolExtents: ve, PerExtents: pe,
+	}
 }

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"repro/internal/intervals"
+	"repro/internal/memory"
+)
+
+// Interval-keyed dependence frontiers.
+//
+// The builder's per-address state — which nodes last wrote/read each
+// tracking-granularity block, and which persist last targeted it — is
+// kept in one ordered interval map over byte addresses instead of a
+// map[BlockID]*gBlock. A store spanning N blocks updates one range
+// entry; a persist stamps its whole footprint with a single uniform
+// frontier value that coalesces with nothing-or-everything; and
+// untouched address space (the overwhelming majority of a
+// gigabyte-scale heap) is never materialized at all. Range boundaries
+// are always multiples of the tracking granularity, so block-uniform
+// semantics are preserved exactly: an interval can only split at block
+// edges.
+//
+// Frontier node sets are stored as nodeVec — sorted, immutable,
+// copy-on-write slices. Sharing is safe because no operation mutates a
+// published vec in place; singletons (the dominant case: a block just
+// persisted) are carved from a chunked slab so the per-persist
+// frontier reset allocates nothing in steady state.
+
+// nodeVec is a sorted set of node ids. The empty vec is nil. Vecs are
+// immutable once stored in a frontier: operations return new (or
+// shared) slices, never append in place.
+type nodeVec []NodeID
+
+// has reports membership (linear scan: frontiers are small).
+func (v nodeVec) has(id NodeID) bool {
+	for _, x := range v {
+		if x == id {
+			return true
+		}
+		if x > id {
+			return false
+		}
+	}
+	return false
+}
+
+// vecEq reports set equality. Shared backing is the fast path: a
+// coalescing check between two halves of a split range compares the
+// same slice header.
+func vecEq(a, b nodeVec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	if &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// blockState is the per-range dependence frontier: the nodes whose
+// persists/reads future persists of this range must order after.
+type blockState struct {
+	writer nodeVec
+	reader nodeVec
+	lastP  NodeID // last persist targeting the range; -1 when none
+}
+
+// blockEq is the interval map's coalescing predicate: adjacent ranges
+// whose frontiers are identical merge into one entry.
+func blockEq(a, b blockState) bool {
+	return a.lastP == b.lastP && vecEq(a.writer, b.writer) && vecEq(a.reader, b.reader)
+}
+
+// single returns a slab-backed immutable singleton vec. The full-slice
+// expression caps the result so a stray append could never clobber the
+// slab.
+func (b *builder) single(id NodeID) nodeVec {
+	if len(b.idSlab) == cap(b.idSlab) {
+		b.idSlab = make([]NodeID, 0, 1024)
+	}
+	b.idSlab = append(b.idSlab, id)
+	n := len(b.idSlab)
+	return nodeVec(b.idSlab[n-1 : n : n])
+}
+
+// allocEdges carves an exact-size In slice from the chunked edge slab.
+// Later AddEdge calls on the node fall back to ordinary append (the
+// slice is at capacity), copying out of the slab safely.
+func (b *builder) allocEdges(n int) []Edge {
+	if n == 0 {
+		return nil
+	}
+	if cap(b.edgeSlab)-len(b.edgeSlab) < n {
+		c := 4096
+		if n > c {
+			c = n
+		}
+		b.edgeSlab = make([]Edge, 0, c)
+	}
+	s := b.edgeSlab[len(b.edgeSlab) : len(b.edgeSlab)+n : len(b.edgeSlab)+n]
+	b.edgeSlab = b.edgeSlab[:len(b.edgeSlab)+n]
+	return s
+}
+
+// intoSet inserts every element of v into s in place, creating the map
+// on first use.
+func intoSet(s nodeSet, v nodeVec) nodeSet {
+	if len(v) == 0 {
+		return s
+	}
+	if s == nil {
+		s = make(nodeSet, len(v))
+	}
+	for _, id := range v {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// vecAddSet returns v ∪ s, sharing v when s adds nothing.
+func (b *builder) vecAddSet(v nodeVec, s nodeSet) nodeVec {
+	if len(s) == 0 {
+		return v
+	}
+	b.tmp = b.tmp[:0]
+	for id := range s {
+		if !v.has(id) {
+			b.tmp = append(b.tmp, id)
+		}
+	}
+	if len(b.tmp) == 0 {
+		return v
+	}
+	// Insertion-sort the additions (tiny), then merge.
+	for i := 1; i < len(b.tmp); i++ {
+		for j := i; j > 0 && b.tmp[j] < b.tmp[j-1]; j-- {
+			b.tmp[j], b.tmp[j-1] = b.tmp[j-1], b.tmp[j]
+		}
+	}
+	return mergeVecs(v, b.tmp)
+}
+
+// vecUnion returns a ∪ b, sharing an input when it already contains
+// the other.
+func vecUnion(a, b nodeVec) nodeVec {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	missing := 0
+	for _, id := range b {
+		if !a.has(id) {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return a
+	}
+	return mergeVecs(a, b)
+}
+
+// mergeVecs merges two sorted id slices into a fresh sorted set.
+func mergeVecs(a, b nodeVec) nodeVec {
+	out := make(nodeVec, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// BuildStats summarizes the interval frontier's shape after a trace
+// build — the stats the CLIs report alongside graph sizes.
+type BuildStats struct {
+	// FrontierRanges is the number of live interval entries at the end
+	// of the build; PeakRanges the high-water mark. Both are bounded by
+	// touched blocks, not address-space size.
+	FrontierRanges int
+	PeakRanges     int
+	// Splits and Coalesces count interval boundary cuts and
+	// equal-frontier merges over the whole build.
+	Splits    uint64
+	Coalesces uint64
+}
+
+// statsOf snapshots the frontier-shape stats from the interval map.
+func (b *builder) statsOf() BuildStats {
+	return BuildStats{
+		FrontierRanges: b.blocks.Len(),
+		PeakRanges:     b.peakRanges,
+		Splits:         b.blocks.Splits,
+		Coalesces:      b.blocks.Coalesces,
+	}
+}
+
+// newFrontier constructs the interval map with frontier coalescing.
+func newFrontier() *intervals.Map[memory.Addr, blockState] {
+	return intervals.NewMap[memory.Addr, blockState](blockEq)
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/intervals"
 	"repro/internal/memory"
 	"repro/internal/trace"
 )
@@ -86,6 +87,9 @@ type Node struct {
 // manually built graphs may contain cycles, which FindCycle exposes.
 type Graph struct {
 	Nodes []*Node
+	// Stats describes the interval dependence frontier of a trace build
+	// (zero for manual graphs); see BuildStats.
+	Stats BuildStats
 	// slab is preallocated node storage (see Grow): AddNode takes slots
 	// from it while capacity lasts, so a trace build with a known persist
 	// count performs one node allocation instead of one per persist.
@@ -93,12 +97,17 @@ type Graph struct {
 }
 
 // Grow preallocates storage for n additional nodes. Nodes already added
-// are unaffected.
+// are unaffected. Grow is additive: a second call only replaces the
+// node slab (or re-sizes Nodes) when the remaining capacity from the
+// first call cannot hold n more nodes, so incremental builds that grow
+// in steps don't pay a fresh allocation-and-copy per call.
 func (g *Graph) Grow(n int) {
 	if n <= 0 {
 		return
 	}
-	g.slab = make([]Node, 0, n)
+	if cap(g.slab)-len(g.slab) < n {
+		g.slab = make([]Node, 0, n)
+	}
 	if cap(g.Nodes)-len(g.Nodes) < n {
 		ns := make([]*Node, len(g.Nodes), len(g.Nodes)+n)
 		copy(ns, g.Nodes)
@@ -134,12 +143,6 @@ func (g *Graph) AddEdge(from, to NodeID, class EdgeClass) {
 			return
 		}
 	}
-	n.In = append(n.In, Edge{From: from, Class: class})
-}
-
-// addEdgeRaw appends without the dedup scan (builder internal).
-func (g *Graph) addEdgeRaw(from, to NodeID, class EdgeClass) {
-	n := g.Nodes[to]
 	n.In = append(n.In, Edge{From: from, Class: class})
 }
 
@@ -283,7 +286,8 @@ func (g *Graph) DOT(name string) string {
 // model. Parameters follow core.Params (granularities; coalescing is
 // intentionally not modeled — see the package comment). The state
 // machine mirrors core.Sim but carries dependence *frontiers* (sets of
-// node ids) instead of scalar levels.
+// node ids) instead of scalar levels, keyed by address interval rather
+// than per block (see frontier.go).
 func Build(tr *trace.Trace, p core.Params) (*Graph, error) {
 	b, err := newBuilder(p)
 	if err != nil {
@@ -307,6 +311,7 @@ func Build(tr *trace.Trace, p core.Params) (*Graph, error) {
 			}
 		}
 	}
+	b.g.Stats = b.statsOf()
 	return b.g, nil
 }
 
@@ -349,12 +354,6 @@ type gThread struct {
 	epochMax nodeSet
 }
 
-type gBlock struct {
-	writer nodeSet
-	reader nodeSet
-	lastP  NodeID // -1 when none
-}
-
 type builder struct {
 	g        *Graph
 	p        core.Params
@@ -364,10 +363,19 @@ type builder struct {
 	lbs      bool // load-before-store conflicts
 	volc     bool // volatile conflicts
 	threads  map[int32]*gThread
-	blocks   map[memory.BlockID]*gBlock
-	// seen and touched are per-persist scratch, reused across events.
-	seen    []NodeID
-	touched []*gBlock
+	// blocks is the interval-keyed dependence frontier: byte ranges
+	// (always aligned to the tracking granularity) mapped to the
+	// frontier state future persists of that range depend on. Untouched
+	// space has no entry at all.
+	blocks     *intervals.Map[memory.Addr, blockState]
+	peakRanges int
+	// Per-persist scratch and slabs, reused across events.
+	seen     []NodeID
+	edgeBuf  []Edge
+	tiles    []blockState
+	tmp      []NodeID
+	idSlab   []NodeID
+	edgeSlab []Edge
 }
 
 func newBuilder(p core.Params) (*builder, error) {
@@ -381,7 +389,7 @@ func newBuilder(p core.Params) (*builder, error) {
 		g:       &Graph{},
 		p:       p,
 		threads: make(map[int32]*gThread),
-		blocks:  make(map[memory.BlockID]*gBlock),
+		blocks:  newFrontier(),
 	}
 	switch p.Model {
 	case core.Strict:
@@ -407,19 +415,21 @@ func (b *builder) thread(tid int32) *gThread {
 	return t
 }
 
-func (b *builder) block(id memory.BlockID) *gBlock {
-	bs, ok := b.blocks[id]
-	if !ok {
-		bs = &gBlock{lastP: -1}
-		b.blocks[id] = bs
-	}
-	return bs
+// span returns the tracking-granularity-aligned byte range the event's
+// access covers: the interval-map key range standing in for the block
+// ids the per-block builder enumerated. Event sizes are 1..8 and
+// validated, so the range is never empty.
+func (b *builder) span(e trace.Event) (lo, hi memory.Addr) {
+	g := b.p.TrackingGranularity
+	lo = memory.AlignDown(e.Addr, g)
+	hi = memory.AlignDown(e.Addr+memory.Addr(e.Size)-1, g) + memory.Addr(g)
+	return lo, hi
 }
 
-func (b *builder) eachBlock(e trace.Event, fn func(*gBlock)) {
-	first, last := memory.BlockSpan(e.Addr, int(e.Size), b.p.TrackingGranularity)
-	for blk := first; blk <= last; blk++ {
-		fn(b.block(blk))
+// trackPeak records the frontier's high-water mark after a mutation.
+func (b *builder) trackPeak() {
+	if n := b.blocks.Len(); n > b.peakRanges {
+		b.peakRanges = n
 	}
 }
 
@@ -433,31 +443,46 @@ func (b *builder) feed(e trace.Event) error {
 			return nil
 		}
 		t := b.thread(e.TID)
-		b.eachBlock(e, func(bs *gBlock) {
+		lo, hi := b.span(e)
+		b.blocks.Update(lo, hi, func(_ intervals.Range[memory.Addr], bs blockState, ok bool) (blockState, bool) {
+			if !ok {
+				bs.lastP = -1
+			}
 			if b.strict {
-				t.active = t.active.union(bs.writer)
+				t.active = intoSet(t.active, bs.writer)
 			} else {
-				t.pending = t.pending.union(bs.writer)
+				t.pending = intoSet(t.pending, bs.writer)
 			}
 			if b.lbs {
-				bs.reader = bs.reader.union(t.active)
+				bs.reader = b.vecAddSet(bs.reader, t.active)
 			}
+			// An absent range stays absent unless it gained readers:
+			// empty frontier state is equivalent to no state.
+			return bs, ok || len(bs.reader) > 0
 		})
+		b.trackPeak()
 	case trace.Store, trace.RMW:
 		if memory.IsPersistent(e.Addr) {
 			b.persist(e)
 		} else if b.volc {
 			t := b.thread(e.TID)
-			b.eachBlock(e, func(bs *gBlock) {
-				inherit := bs.writer.clone().union(bs.reader)
-				if b.strict {
-					t.active = t.active.union(inherit)
-				} else {
-					t.pending = t.pending.union(inherit)
+			lo, hi := b.span(e)
+			b.blocks.Update(lo, hi, func(_ intervals.Range[memory.Addr], bs blockState, ok bool) (blockState, bool) {
+				if !ok {
+					bs.lastP = -1
 				}
-				bs.writer = bs.writer.union(bs.reader).union(t.active)
+				// The store inherits the range's dependences...
+				if b.strict {
+					t.active = intoSet(intoSet(t.active, bs.writer), bs.reader)
+				} else {
+					t.pending = intoSet(intoSet(t.pending, bs.writer), bs.reader)
+				}
+				// ...and becomes, with them, the range's write frontier.
+				bs.writer = b.vecAddSet(vecUnion(bs.writer, bs.reader), t.active)
 				bs.reader = nil
+				return bs, ok || len(bs.writer) > 0
 			})
+			b.trackPeak()
 		}
 	case trace.PersistBarrier:
 		if b.barriers {
@@ -480,23 +505,42 @@ func (b *builder) bindEpoch(t *gThread) {
 	if len(t.epochMax) > 0 {
 		// Every persist of the closing epoch carries edges from the old
 		// active set, so the old set is dominated and can be dropped —
-		// the frontier pruning that keeps dependence sets bounded.
-		t.active = t.pending.clone().union(t.epochMax)
+		// the frontier pruning that keeps dependence sets bounded. The
+		// old set's storage is reused (nothing aliases it: unions copy
+		// elements out), so a barrier allocates only on set growth.
+		act := t.active
+		if act == nil {
+			act = make(nodeSet, len(t.pending)+len(t.epochMax))
+		} else {
+			clear(act)
+		}
+		for id := range t.pending {
+			act[id] = struct{}{}
+		}
+		for id := range t.epochMax {
+			act[id] = struct{}{}
+		}
+		t.active = act
 	} else {
 		t.active = t.active.union(t.pending)
 	}
-	t.pending = nil
-	t.epochMax = nil
+	// Keep pending's and epochMax's storage too: the next epoch refills
+	// them.
+	clear(t.pending)
+	clear(t.epochMax)
 }
 
 func (b *builder) persist(e trace.Event) {
 	t := b.thread(e.TID)
 	id := b.g.AddNode("", e)
+	lo, hi := b.span(e)
 
 	// Deduplicated edge insertion: sources accumulate in a reusable
 	// list; in-degrees are small, so a linear scan beats a fresh map
-	// per persist.
+	// per persist. Edges stage in edgeBuf and commit as one exact-size
+	// slab slice below.
 	b.seen = b.seen[:0]
+	b.edgeBuf = b.edgeBuf[:0]
 	addEdge := func(from NodeID, class EdgeClass) {
 		for _, s := range b.seen {
 			if s == from {
@@ -504,38 +548,61 @@ func (b *builder) persist(e trace.Event) {
 			}
 		}
 		b.seen = append(b.seen, from)
-		b.g.addEdgeRaw(from, id, class)
+		b.edgeBuf = append(b.edgeBuf, Edge{From: from, Class: class})
 	}
 
 	// One edge per distinct source; when a source orders this persist
 	// for several reasons, the most specific class wins (atomicity,
 	// then conflict, then program order), matching Figure 2's
-	// classification.
-	b.touched = b.touched[:0]
-	b.eachBlock(e, func(bs *gBlock) {
+	// classification. The frontier walk is read-only and visits ranges
+	// in ascending address order; tile states are staged in scratch so
+	// the conflict phase (which must run after every atomicity edge)
+	// doesn't pay a second ordered lookup.
+	b.tiles = b.tiles[:0]
+	b.blocks.Each(lo, hi, func(_ intervals.Range[memory.Addr], bs blockState) bool {
 		// Strong persist atomicity.
 		if bs.lastP >= 0 {
 			addEdge(bs.lastP, Atomicity)
 		}
-		b.touched = append(b.touched, bs)
+		b.tiles = append(b.tiles, bs)
+		return true
 	})
-	for _, bs := range b.touched {
+	for _, bs := range b.tiles {
 		// Cross-thread (and self) conflict dependences through memory.
-		for from := range bs.writer {
+		for _, from := range bs.writer {
 			addEdge(from, Conflict)
 		}
-		for from := range bs.reader {
+		for _, from := range bs.reader {
 			addEdge(from, Conflict)
 		}
 	}
-	// Program-order / barrier dependences.
+	// Program-order / barrier dependences. t.active is a map, so sort
+	// this segment (tiny; insertion sort, no allocation) to keep edge
+	// order deterministic.
+	po := len(b.edgeBuf)
 	for from := range t.active {
 		addEdge(from, ProgramOrder)
 	}
+	if tail := b.edgeBuf[po:]; len(tail) > 1 {
+		for i := 1; i < len(tail); i++ {
+			for j := i; j > 0 && tail[j].From < tail[j-1].From; j-- {
+				tail[j], tail[j-1] = tail[j-1], tail[j]
+			}
+		}
+	}
+	n := b.g.Nodes[id]
+	n.In = b.allocEdges(len(b.edgeBuf))
+	copy(n.In, b.edgeBuf)
 
 	if b.strict {
-		// The new persist subsumes everything it depends on.
-		t.active = nodeSet{}.add(id)
+		// The new persist subsumes everything it depends on. Reuse the
+		// thread's set: nothing aliases it (unions copy elements out).
+		if t.active == nil {
+			t.active = make(nodeSet, 1)
+		} else {
+			clear(t.active)
+		}
+		t.active[id] = struct{}{}
 	} else {
 		t.epochMax = t.epochMax.add(id)
 		// Everything this persist directly depends on is now dominated
@@ -545,11 +612,10 @@ func (b *builder) persist(e trace.Event) {
 			delete(t.pending, from)
 		}
 	}
-	// The persist has edges from every prior dependence of this block,
-	// so it alone is the block's new dependence frontier.
-	for _, bs := range b.touched {
-		bs.writer = nodeSet{}.add(id)
-		bs.reader = nil
-		bs.lastP = id
-	}
+	// The persist has edges from every prior dependence of its whole
+	// footprint, so it alone is the new dependence frontier: one
+	// uniform range entry, regardless of how many blocks the store
+	// spanned or how fragmented the space was before.
+	b.blocks.Set(lo, hi, blockState{writer: b.single(id), lastP: id})
+	b.trackPeak()
 }

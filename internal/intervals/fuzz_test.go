@@ -1,0 +1,64 @@
+package intervals
+
+import (
+	"testing"
+)
+
+// FuzzMapSplitCoalesce feeds arbitrary operation tapes to the interval
+// map and cross-checks every intermediate state against the per-key
+// reference model, with the structural invariants (sorted, disjoint,
+// non-empty, fully coalesced) asserted throughout. Each 4-byte chunk
+// of the tape encodes one operation: opcode, lo, length, value.
+func FuzzMapSplitCoalesce(f *testing.F) {
+	f.Add([]byte{0, 10, 10, 1, 0, 15, 10, 2, 2, 12, 6, 0})
+	f.Add([]byte{0, 0, 255, 1, 0, 8, 16, 1, 2, 4, 4, 0, 3, 0, 32, 5})
+	f.Add([]byte{3, 250, 20, 7, 0, 255, 8, 3, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		m := NewMap[uint64, int](intEq)
+		ref := &refModel{vals: map[uint64]int{}}
+		for len(tape) >= 4 {
+			op, lo8, n8, v8 := tape[0], tape[1], tape[2], tape[3]
+			tape = tape[4:]
+			lo := uint64(lo8)
+			hi := lo + uint64(n8)
+			v := int(v8 % 5)
+			switch op % 4 {
+			case 0:
+				m.Set(lo, hi, v)
+				ref.set(lo, hi, v)
+			case 1:
+				m.Delete(lo, hi)
+				ref.del(lo, hi)
+			case 2:
+				m.Update(lo, hi, func(r Range[uint64], old int, ok bool) (int, bool) {
+					if !ok {
+						return v, v%2 == 0
+					}
+					return old + v, true
+				})
+				for k := lo; k < hi; k++ {
+					if old, ok := ref.vals[k]; ok {
+						ref.vals[k] = old + v
+					} else if v%2 == 0 {
+						ref.vals[k] = v
+					}
+				}
+			case 3:
+				// Read-only probes between mutations.
+				m.Overlaps(lo, hi)
+				m.Get(lo)
+				m.Find(hi)
+			}
+			checkInvariants(t, m)
+		}
+		got := contents(m, 1<<10)
+		if len(got) != len(ref.vals) {
+			t.Fatalf("%d keys, want %d", len(got), len(ref.vals))
+		}
+		for k, v := range ref.vals {
+			if gv, ok := got[k]; !ok || gv != v {
+				t.Fatalf("key %d: got %d,%v want %d", k, gv, ok, v)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/intervals"
 	"repro/internal/memory"
 )
 
@@ -27,13 +28,16 @@ func checkUnprotected(g *graph.Graph, idx *graphIndex, ann Annotations, cfg Conf
 	if len(ann.Pubs) == 0 && len(ann.OrderAfter) == 0 {
 		return
 	}
+	// Protected extents collapse into an interval set (adjacent and
+	// overlapping extents merge), so coverage is one ordered query —
+	// and a word jointly covered by two abutting frames correctly
+	// counts as protected, which the old single-extent scan missed.
+	prot := intervals.NewSet[memory.Addr]()
+	for _, x := range ann.Protected {
+		prot.Insert(x.Addr, x.Addr+memory.Addr(x.Size))
+	}
 	covered := func(a memory.Addr, size uint64) bool {
-		for _, x := range ann.Protected {
-			if a >= x.Addr && uint64(a-x.Addr)+size <= x.Size {
-				return true
-			}
-		}
-		return false
+		return prot.Covers(a, a+memory.Addr(size))
 	}
 	report := func(name string, a memory.Addr, size uint64) {
 		cut := fullCut(g)

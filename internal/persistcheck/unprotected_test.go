@@ -1,0 +1,56 @@
+package persistcheck
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// unprotCheck runs Check over a one-persist trace with the given
+// protected extents and returns the UnprotectedMetadata finding count
+// for the publication word at PersistentBase.
+func unprotCheck(t *testing.T, prot []Extent) int {
+	t.Helper()
+	tr := &trace.Trace{}
+	tr.Emit(trace.Event{TID: 0, Kind: trace.Store, Addr: memory.PersistentBase, Size: 8, Val: 1})
+	ann := Annotations{
+		Pubs:      []Publication{{Name: "w", Word: memory.PersistentBase}},
+		Protected: prot,
+	}
+	r, err := Check(tr, core.Params{Model: core.Epoch}, ann, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Counts[UnprotectedMetadata]
+}
+
+// TestUnprotectedCoverage exercises the interval-set coverage query:
+// single-extent coverage and non-coverage behave as before, and a word
+// jointly covered by two abutting protected extents now counts as
+// protected (the old single-extent scan flagged it).
+func TestUnprotectedCoverage(t *testing.T) {
+	base := memory.PersistentBase
+	if n := unprotCheck(t, nil); n != 1 {
+		t.Fatalf("no protection: %d findings, want 1", n)
+	}
+	if n := unprotCheck(t, []Extent{{Addr: base, Size: 8}}); n != 0 {
+		t.Fatalf("exact extent: %d findings, want 0", n)
+	}
+	if n := unprotCheck(t, []Extent{{Addr: base - 8, Size: 64}}); n != 0 {
+		t.Fatalf("containing extent: %d findings, want 0", n)
+	}
+	// Two abutting extents jointly covering the word: protected.
+	if n := unprotCheck(t, []Extent{{Addr: base, Size: 4}, {Addr: base + 4, Size: 4}}); n != 0 {
+		t.Fatalf("abutting extents: %d findings, want 0", n)
+	}
+	// A one-byte hole in the middle: not protected.
+	if n := unprotCheck(t, []Extent{{Addr: base, Size: 4}, {Addr: base + 5, Size: 3}}); n != 1 {
+		t.Fatalf("extents with hole: %d findings, want 1", n)
+	}
+	// Partial overlap from both sides with a gap at the end.
+	if n := unprotCheck(t, []Extent{{Addr: base - 4, Size: 8}, {Addr: base + 4, Size: 2}}); n != 1 {
+		t.Fatalf("short extents: %d findings, want 1", n)
+	}
+}
