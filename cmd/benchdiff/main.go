@@ -6,7 +6,8 @@
 // hook that keeps the hot paths honest.
 //
 //	benchdiff OLD.json NEW.json            compare two suite files
-//	benchdiff -history H.jsonl NEW.json    compare against newest record
+//	benchdiff -history H.jsonl NEW.json    compare against the newest
+//	                                       record of the same suite
 //	benchdiff -history H.jsonl -append NEW.json
 //	                                       also append NEW as a new
 //	                                       manifest-stamped record
@@ -15,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		threshold      = fs.Float64("threshold", 0.10, "relative ns/op change below which a delta is never significant")
 		allocThreshold = fs.Float64("alloc-threshold", 0.05, "relative allocs/op change below which a delta is never significant")
+		bytesThreshold = fs.Float64("bytes-threshold", 0.05, "relative B/op change below which a delta is never significant")
 		alpha          = fs.Float64("alpha", 0.05, "Mann-Whitney significance level (used when both sides have >=4 samples per benchmark)")
 		all            = fs.Bool("all", false, "print every paired benchmark, not just significant deltas")
 		history        = fs.String("history", "", "BENCH_history.jsonl to use as baseline (newest record) instead of an OLD.json argument")
@@ -58,15 +61,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var err error
 	switch {
 	case *history != "" && fs.NArg() == 1:
+		newS, err = benchdiff.ReadSuite(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
 		recs, rerr := benchdiff.ReadHistory(*history)
-		if *appendHist && (os.IsNotExist(rerr) || (rerr == nil && len(recs) == 0)) {
-			// Bootstrap: nothing to compare against yet; seed the first
-			// record and exit clean.
-			newS, err = benchdiff.ReadSuite(fs.Arg(0))
-			if err != nil {
+		if rerr != nil && !os.IsNotExist(rerr) {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", rerr)
+			return 2
+		}
+		// The baseline is the newest record of the SAME suite: history
+		// files interleave records from different suites (core
+		// microbenchmarks, kv-serving, ...), and cross-suite deltas are
+		// meaningless.
+		if rerr == nil {
+			oldS, err = benchdiff.LatestBaseline(recs, newS.Suite)
+		} else {
+			err = fmt.Errorf("benchdiff: %v: %w", rerr, benchdiff.ErrNoBaseline)
+		}
+		if errors.Is(err, benchdiff.ErrNoBaseline) {
+			if !*appendHist {
 				fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 				return 2
 			}
+			// Bootstrap: first record of this suite; seed it and exit
+			// clean — there is nothing to compare against yet.
 			m := telemetry.NewManifest("benchdiff").CaptureFlags(fs)
 			if err := benchdiff.AppendHistory(*history, newS, m); err != nil {
 				fmt.Fprintf(stderr, "benchdiff: append: %v\n", err)
@@ -74,12 +94,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "Seeded %s with %q (no baseline to compare yet).\n", *history, newS.Suite)
 			return 0
-		}
-		err = rerr
-		if err == nil {
-			if oldS, err = benchdiff.LatestBaseline(recs); err == nil {
-				newS, err = benchdiff.ReadSuite(fs.Arg(0))
-			}
 		}
 	case *history == "" && fs.NArg() == 2:
 		if oldS, err = benchdiff.ReadSuite(fs.Arg(0)); err == nil {
@@ -111,6 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := benchdiff.Options{
 		NsThreshold:    *threshold,
 		AllocThreshold: *allocThreshold,
+		BytesThreshold: *bytesThreshold,
 		Alpha:          *alpha,
 	}
 	deltas := benchdiff.Compare(cmpOld, cmpNew, opts)

@@ -82,6 +82,28 @@ func TestGenerousThresholdTolerates(t *testing.T) {
 	}
 }
 
+// An injected B/op-only regression (same ns/op, same allocs/op) must
+// trip the gate and name B/op; raising -bytes-threshold tolerates it.
+func TestInjectedBytesRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSuite(t, dir, "old.json", baseSuite)
+	regressed := strings.Replace(baseSuite, `"bytes_per_op": 13138320`, `"bytes_per_op": 15766000`, 1)
+	neu := writeSuite(t, dir, "new.json", regressed)
+	var out, errb strings.Builder
+	code := run([]string{old, neu}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "BenchmarkGraphBuild/epoch") || !strings.Contains(errb.String(), "B/op") {
+		t.Errorf("bytes regression not attributed:\n%s", errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-bytes-threshold", "0.5", old, neu}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 at -bytes-threshold 0.5; stderr:\n%s", code, errb.String())
+	}
+}
+
 func TestHistoryAppendAndBaseline(t *testing.T) {
 	dir := t.TempDir()
 	neu := writeSuite(t, dir, "new.json", baseSuite)

@@ -1,0 +1,357 @@
+// Command kvbench sweeps the sharded persistent KV serving workload
+// (internal/kv driven by the open-loop Zipfian generator in
+// internal/workload) across annotation policies and persistency
+// models, and maintains the BENCH_kv.json artifact.
+//
+// Usage:
+//
+//	kvbench [-shards N] [-keys N] [-threads N] [-ops N] [-read-frac F]
+//	        [-zipf S] [-seed S] [-policies strict,epoch,racing,strand]
+//	        [-integrity] [-parallel N] [-json] [-out FILE] [-history FILE]
+//	        [-graph-dump FILE -graph-build serial|parallel -graph-workers N]
+//
+// Every reported number is simulated and deterministic: the same
+// flags produce the same bytes, so -out artifacts diff cleanly and
+// the -graph-dump file is byte-identical between the serial and
+// parallel graph builders (the CI cmp step relies on this).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/benchdiff"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/journal"
+	"repro/internal/queue"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// row is one (policy, model) cell of the sweep: the serving metrics
+// kvbench reports beyond the benchdiff suite core.
+type row struct {
+	Policy       string  `json:"policy"`
+	Model        string  `json:"model"`
+	Target       bool    `json:"target"` // model the policy's annotations aim at
+	Events       int64   `json:"events"`
+	Persists     int64   `json:"persists"`
+	Placed       int64   `json:"placed"`
+	Coalesced    int64   `json:"coalesced"`
+	CriticalPath int64   `json:"critical_path"`
+	PathPerOp    float64 `json:"path_per_op"`
+	Ops          int     `json:"ops"`
+}
+
+// report is the BENCH_kv.json document: a benchdiff suite (so the
+// regression gate and history tooling parse it directly — extra
+// fields are ignored) plus the full serving-metric rows.
+type report struct {
+	benchdiff.Suite
+	Config map[string]string `json:"config"`
+	Rows   []row             `json:"rows"`
+}
+
+func main() {
+	var (
+		shards     = flag.Int("shards", 64, "shard count (one journaled table per shard)")
+		keys       = flag.Uint64("keys", 1<<20, "dense key-space size")
+		threads    = flag.Int("threads", 128, "simulated serving threads")
+		ops        = flag.Int("ops", 1<<20, "total operations, split across threads")
+		readFrac   = flag.Float64("read-frac", 0.9, "fraction of operations that are reads")
+		zipfS      = flag.Float64("zipf", 1.1, "Zipf skew s (>1); 0 means uniform keys")
+		seed       = flag.Int64("seed", 42, "generator and interleaving seed")
+		policyStr  = flag.String("policies", "strict,epoch,racing,strand", "comma-separated annotation policies to sweep")
+		integrity  = flag.Bool("integrity", false, "use the corruption-detecting durable format in every shard")
+		parallel   = flag.Int("parallel", 0, "sweep worker count; 0 means GOMAXPROCS, 1 forces sequential")
+		traceCache = flag.Int("trace-cache", bench.DefaultCacheEntries, "workload trace cache capacity in traces; 0 disables")
+		jsonOut    = flag.Bool("json", false, "emit the report JSON to stdout instead of aligned tables")
+		out        = flag.String("out", "", "write the report JSON to this file (e.g. BENCH_kv.json)")
+		history    = flag.String("history", "", "append the suite to this BENCH_history.jsonl file")
+		spansOut   = flag.String("spans-out", "", "write the harness wall-clock span trace (Chrome trace-event JSON) to this file")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
+		graphDump  = flag.String("graph-dump", "", "build the persist-order graph for the first policy and write a deterministic dump to this file")
+		graphBuild = flag.String("graph-build", "serial", "graph builder for -graph-dump: serial|parallel")
+		graphWkrs  = flag.Int("graph-workers", 4, "worker count for -graph-build parallel")
+	)
+	flag.Parse()
+
+	man := telemetry.NewManifest("kvbench").
+		CaptureFlags(flag.CommandLine).
+		Seed("seed", *seed).
+		ModelGrid(core.Models...)
+	fmt.Fprintln(os.Stderr, man.String())
+
+	reg := telemetry.NewRegistry()
+	var spans *telemetry.SpanTracer
+	if *spansOut != "" {
+		spans = telemetry.NewSpanTracer(reg)
+	}
+	var cache *bench.TraceCache
+	if *traceCache > 0 {
+		cache = bench.NewTraceCache(*traceCache)
+	}
+	cache.SetSpans(spans)
+
+	grid, err := parseGrid(*policyStr, *shards, *keys, *threads, *ops, *readFrac, *zipfS, *seed, *integrity)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Sweep: one grid item per policy. Each item traces (or replays) the
+	// workload once and streams every persistency model over it in a
+	// single walk; merge collects rows in grid order, so the report is
+	// byte-identical at any -parallel.
+	type itemOut struct {
+		results []core.Result
+		events  int64
+	}
+	rows := make([]row, 0, len(grid)*len(core.Models))
+	sw := sweep.Config{Parallel: *parallel, Registry: reg, Spans: spans}.Named("kvbench")
+	err = sweep.Run(len(grid), sw, func(i int) (itemOut, error) {
+		run, err := workload.BuildKV(grid[i].opts, cache)
+		if err != nil {
+			return itemOut{}, err
+		}
+		res, err := core.SimulateAll(run.Trace, core.Params{})
+		if err != nil {
+			return itemOut{}, err
+		}
+		return itemOut{results: res, events: int64(run.Trace.Len())}, nil
+	}, func(i int, v itemOut) error {
+		target := workload.ModelForPolicy("journal", grid[i].qpol)
+		for _, r := range v.results {
+			telemetry.ObserveResult(reg, fmt.Sprintf("kv/%s/%v", grid[i].name, r.Model), r)
+			rows = append(rows, row{
+				Policy: grid[i].name, Model: r.Model.String(),
+				Target: r.Model == target, Events: v.events,
+				Persists: r.Persists, Placed: r.Placed, Coalesced: r.Coalesced,
+				CriticalPath: r.CriticalPath, PathPerOp: r.PathPerWork(),
+				Ops: grid[i].opts.Ops,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := buildReport(man, rows, grid[0].opts)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		printTables(rows)
+	}
+	if *out != "" {
+		if err := writeJSON(*out, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kvbench: wrote %s\n", *out)
+	}
+	if *history != "" {
+		if err := benchdiff.AppendHistory(*history, &rep.Suite, man); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kvbench: appended suite to %s\n", *history)
+	}
+
+	if *graphDump != "" {
+		if err := dumpGraph(*graphDump, *graphBuild, *graphWkrs, grid[0], cache, spans); err != nil {
+			fatal(err)
+		}
+	}
+
+	cache.Observe(reg)
+	if cache != nil && !*jsonOut {
+		s := cache.Stats()
+		fmt.Printf("trace cache: %d hits, %d misses, %d evictions\n", s.Hits, s.Misses, s.Evictions)
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.EncodeChromeTraceDoc(f, man, spans); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kvbench: wrote %d wall-clock spans to %s\n", spans.Len(), *spansOut)
+	}
+	if *metricsOut != "" {
+		if err := telemetry.WriteMetrics(reg, man, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// gridItem pairs the policy's flag spelling with the built options;
+// the queue-space enum is kept only to resolve the target model.
+type gridItem struct {
+	name string
+	qpol queue.Policy
+	opts workload.KVOptions
+}
+
+func parseGrid(policies string, shards int, keys uint64, threads, ops int, readFrac, zipfS float64, seed int64, integrity bool) ([]gridItem, error) {
+	var grid []gridItem
+	for _, name := range strings.Split(policies, ",") {
+		name = strings.TrimSpace(name)
+		qp, err := workload.ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		jp, err := workload.JournalPolicy(qp)
+		if err != nil {
+			return nil, err
+		}
+		grid = append(grid, gridItem{
+			name: name,
+			qpol: qp,
+			opts: workload.KVOptions{
+				Shards: shards, Keys: keys, Threads: threads, Ops: ops,
+				ReadFrac: readFrac, ZipfS: zipfS, Policy: jp,
+				Integrity: integrity, Seed: seed, PolicyStr: name,
+			},
+		})
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("empty policy grid")
+	}
+	return grid, nil
+}
+
+// buildReport assembles the BENCH_kv.json document. The suite rows
+// carry the deterministic simulated costs the regression gate tracks:
+// ns_per_op holds the persist critical path per operation (the
+// latency-side figure of merit), bytes_per_op the persist traffic per
+// operation (64B per placed persist), allocs_per_op the raw persist
+// count per operation.
+func buildReport(man *telemetry.Manifest, rows []row, o workload.KVOptions) *report {
+	rep := &report{
+		Suite: benchdiff.Suite{Suite: "kv-serving", Manifest: man},
+		Config: map[string]string{
+			"shards":    strconv.Itoa(o.Shards),
+			"keys":      strconv.FormatUint(o.Keys, 10),
+			"threads":   strconv.Itoa(o.Threads),
+			"ops":       strconv.Itoa(o.Ops),
+			"read-frac": strconv.FormatFloat(o.ReadFrac, 'g', -1, 64),
+			"zipf":      strconv.FormatFloat(o.ZipfS, 'g', -1, 64),
+			"seed":      strconv.FormatInt(o.Seed, 10),
+			"integrity": strconv.FormatBool(o.Integrity),
+		},
+		Rows: rows,
+	}
+	for _, r := range rows {
+		rep.Benchmarks = append(rep.Benchmarks, benchdiff.Benchmark{
+			Name:        fmt.Sprintf("kv/%s/%s", r.Policy, r.Model),
+			NsPerOp:     r.PathPerOp,
+			BytesPerOp:  float64(r.Placed*journal.BlockBytes) / float64(r.Ops),
+			AllocsPerOp: float64(r.Persists) / float64(r.Ops),
+		})
+	}
+	return rep
+}
+
+func printTables(rows []row) {
+	tbl := stats.NewTable("policy", "model", "target", "events", "persists", "placed", "coalesced", "critical-path", "path/op")
+	for _, r := range rows {
+		mark := ""
+		if r.Target {
+			mark = "*"
+		}
+		tbl.AddRow(r.Policy, r.Model, mark,
+			strconv.FormatInt(r.Events, 10), strconv.FormatInt(r.Persists, 10),
+			strconv.FormatInt(r.Placed, 10), strconv.FormatInt(r.Coalesced, 10),
+			strconv.FormatInt(r.CriticalPath, 10), fmt.Sprintf("%.3f", r.PathPerOp))
+	}
+	fmt.Println("sharded KV serving: persist-order metrics by annotation policy x persistency model")
+	fmt.Println("(* marks the model each policy's annotations target)")
+	fmt.Print(tbl.String())
+}
+
+// dumpGraph builds the persist-order constraint graph for the first
+// grid policy under its target model and writes a deterministic
+// line-oriented dump. Running once with -graph-build serial and once
+// with -graph-build parallel must produce byte-identical files.
+func dumpGraph(path, builder string, workers int, item gridItem, cache *bench.TraceCache, spans *telemetry.SpanTracer) error {
+	run, err := workload.BuildKV(item.opts, cache)
+	if err != nil {
+		return err
+	}
+	p := core.Params{Model: workload.ModelForPolicy("journal", item.qpol)}
+	sp := spans.Start("graph", "build").Arg("model", p.Model.String()).Arg("builder", builder)
+	var g *graph.Graph
+	switch builder {
+	case "serial":
+		g, err = graph.Build(run.Trace, p)
+	case "parallel":
+		g, err = graph.BuildParallel(run.Trace, p, workers)
+	default:
+		err = fmt.Errorf("unknown -graph-build %q (want serial|parallel)", builder)
+	}
+	if err == nil {
+		sp.Arg("nodes", g.Len()).Arg("peak-ranges", g.Stats.PeakRanges)
+	}
+	sp.End()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "kvbench graph dump: policy %s model %v nodes %d stats %+v\n",
+		item.name, p.Model, g.Len(), g.Stats)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(w, "%d %d %d %x %d", n.ID, n.Event.TID, n.Event.Kind, n.Event.Addr, n.Event.Size)
+		for _, e := range n.In {
+			fmt.Fprintf(w, " %d:%d", e.From, e.Class)
+		}
+		fmt.Fprintln(w)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kvbench: wrote %s graph dump (%d nodes) to %s\n", builder, g.Len(), path)
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kvbench:", err)
+	os.Exit(1)
+}

@@ -79,11 +79,15 @@ func (s *Suite) Filter(re *regexp.Regexp) *Suite {
 // document order.
 type Series struct {
 	Ns     []float64
+	Bytes  []float64
 	Allocs []float64
 }
 
 // Mean of the ns/op samples.
 func (s Series) MeanNs() float64 { return mean(s.Ns) }
+
+// Mean of the B/op samples.
+func (s Series) MeanBytes() float64 { return mean(s.Bytes) }
 
 // Mean of the allocs/op samples.
 func (s Series) MeanAllocs() float64 { return mean(s.Allocs) }
@@ -110,6 +114,7 @@ func (s *Suite) Samples() map[string]*Series {
 			out[b.Name] = sr
 		}
 		sr.Ns = append(sr.Ns, b.NsPerOp)
+		sr.Bytes = append(sr.Bytes, b.BytesPerOp)
 		sr.Allocs = append(sr.Allocs, b.AllocsPerOp)
 	}
 	return out
@@ -123,6 +128,11 @@ type Options struct {
 	// AllocThreshold is the minimum relative allocs/op change that
 	// counts; 0 means 0.05 (5%).
 	AllocThreshold float64
+	// BytesThreshold is the minimum relative B/op change that counts;
+	// 0 means 0.05 (5%). Bytes regressions matter independently of
+	// allocation count: one alloc that doubles in size is invisible to
+	// allocs/op.
+	BytesThreshold float64
 	// Alpha is the Mann-Whitney significance level used when both
 	// sides have at least minSamples measurements; 0 means 0.05.
 	Alpha float64
@@ -134,6 +144,9 @@ func (o *Options) normalize() {
 	}
 	if o.AllocThreshold == 0 {
 		o.AllocThreshold = 0.05
+	}
+	if o.BytesThreshold == 0 {
+		o.BytesThreshold = 0.05
 	}
 	if o.Alpha == 0 {
 		o.Alpha = 0.05
@@ -152,8 +165,13 @@ type Delta struct {
 	OldNs     float64 // mean over samples
 	NewNs     float64
 	NsRatio   float64 // (new-old)/old; +Inf when old == 0 and new > 0
-	OldAllocs float64
-	NewAllocs float64
+	OldBytes  float64
+	NewBytes  float64
+	// BytesRatio is (new-old)/old for B/op; NaN when old == 0 and
+	// new == 0, +Inf when old == 0 and new > 0.
+	BytesRatio float64
+	OldAllocs  float64
+	NewAllocs  float64
 	// AllocRatio is (new-old)/old for allocs/op; NaN when old == 0
 	// and new == 0, +Inf when old == 0 and new > 0.
 	AllocRatio float64
@@ -164,7 +182,7 @@ type Delta struct {
 	// Samples reports the per-side ns/op sample counts as "old/new".
 	Samples string
 	// Regression and Improvement mark significant moves; Metric names
-	// the series that triggered ("ns/op" or "allocs/op").
+	// the series that triggered ("ns/op", "allocs/op", or "B/op").
 	Regression  bool
 	Improvement bool
 	Metric      string
@@ -209,12 +227,15 @@ func Compare(oldS, newS *Suite, opts Options) []Delta {
 			Name:      name,
 			OldNs:     o.MeanNs(),
 			NewNs:     n.MeanNs(),
+			OldBytes:  o.MeanBytes(),
+			NewBytes:  n.MeanBytes(),
 			OldAllocs: o.MeanAllocs(),
 			NewAllocs: n.MeanAllocs(),
 			P:         math.NaN(),
 			Samples:   fmt.Sprintf("%d/%d", len(o.Ns), len(n.Ns)),
 		}
 		d.NsRatio = ratio(d.OldNs, d.NewNs)
+		d.BytesRatio = ratio(d.OldBytes, d.NewBytes)
 		d.AllocRatio = ratio(d.OldAllocs, d.NewAllocs)
 
 		nsMove := exceeds(d.NsRatio, opts.NsThreshold)
@@ -225,6 +246,7 @@ func Compare(oldS, newS *Suite, opts Options) []Delta {
 			}
 		}
 		allocMove := exceeds(d.AllocRatio, opts.AllocThreshold)
+		bytesMove := exceeds(d.BytesRatio, opts.BytesThreshold)
 
 		switch {
 		case nsMove:
@@ -234,6 +256,10 @@ func Compare(oldS, newS *Suite, opts Options) []Delta {
 		case allocMove:
 			d.Metric = "allocs/op"
 			d.Regression = d.AllocRatio > 0
+			d.Improvement = !d.Regression
+		case bytesMove:
+			d.Metric = "B/op"
+			d.Regression = d.BytesRatio > 0
 			d.Improvement = !d.Regression
 		}
 		out = append(out, d)
@@ -301,8 +327,8 @@ func WriteMarkdown(w io.Writer, deltas []Delta, all bool) error {
 		return err
 	}
 	var b strings.Builder
-	b.WriteString("| benchmark | old ns/op | new ns/op | Δns | p | allocs Δ | samples | verdict |\n")
-	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	b.WriteString("| benchmark | old ns/op | new ns/op | Δns | p | B Δ | allocs Δ | samples | verdict |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
 	for _, d := range rows {
 		verdict := "ok"
 		if d.Regression {
@@ -310,9 +336,9 @@ func WriteMarkdown(w io.Writer, deltas []Delta, all bool) error {
 		} else if d.Improvement {
 			verdict = "improvement (" + d.Metric + ")"
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %s |\n",
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
 			d.Name, fmtNs(d.OldNs), fmtNs(d.NewNs), fmtRatio(d.NsRatio),
-			fmtP(d.P), fmtRatio(d.AllocRatio), d.Samples, verdict)
+			fmtP(d.P), fmtRatio(d.BytesRatio), fmtRatio(d.AllocRatio), d.Samples, verdict)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

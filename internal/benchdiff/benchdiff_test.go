@@ -1,6 +1,7 @@
 package benchdiff
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -78,6 +79,48 @@ func TestCompareFlagsImprovementAndAllocs(t *testing.T) {
 	}
 	if d := byName["BenchmarkAlloc"]; !d.Regression || d.Metric != "allocs/op" {
 		t.Errorf("BenchmarkAlloc: %+v, want allocs/op regression", d)
+	}
+}
+
+// A suite pair where only B/op regresses — ns/op and allocs/op flat —
+// must be flagged on the bytes series alone, and the same move below
+// the bytes threshold must pass clean.
+func TestCompareFlagsBytesRegression(t *testing.T) {
+	oldS := suite(
+		Benchmark{Name: "BenchmarkBytes", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 10},
+		Benchmark{Name: "BenchmarkOK", NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 10},
+	)
+	newS := suite(
+		// One allocation doubled in size: invisible to allocs/op.
+		Benchmark{Name: "BenchmarkBytes", NsPerOp: 1005, BytesPerOp: 8192, AllocsPerOp: 10},
+		Benchmark{Name: "BenchmarkOK", NsPerOp: 1005, BytesPerOp: 4200, AllocsPerOp: 10},
+	)
+	deltas := Compare(oldS, newS, Options{})
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkBytes" {
+		t.Fatalf("want only BenchmarkBytes regression, got %+v", regs)
+	}
+	if regs[0].Metric != "B/op" {
+		t.Errorf("metric = %q, want B/op", regs[0].Metric)
+	}
+	if regs[0].OldBytes != 4096 || regs[0].NewBytes != 8192 {
+		t.Errorf("bytes means: %+v", regs[0])
+	}
+	var md strings.Builder
+	if err := WriteMarkdown(&md, deltas, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "REGRESSION** (B/op)") {
+		t.Errorf("markdown missing B/op regression:\n%s", md.String())
+	}
+
+	// A generous threshold tolerates the same move.
+	if regs := Regressions(Compare(oldS, newS, Options{BytesThreshold: 1.5})); len(regs) != 0 {
+		t.Fatalf("bytes move above threshold 1.5: %+v", regs)
+	}
+	// A bytes improvement is reported as such, not as a regression.
+	if d := Compare(newS, oldS, Options{})[0]; !d.Improvement || d.Metric != "B/op" {
+		t.Errorf("reverse compare: %+v, want B/op improvement", d)
 	}
 }
 
@@ -165,12 +208,56 @@ func TestHistoryRoundTrip(t *testing.T) {
 			t.Errorf("record %d manifest = %+v, want stamped", i, rec.Manifest)
 		}
 	}
-	base, err := LatestBaseline(recs)
+	base, err := LatestBaseline(recs, "core-microbench")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := base.Benchmarks[0].NsPerOp; got != 1100 {
 		t.Errorf("baseline ns/op = %v, want newest record (1100)", got)
+	}
+}
+
+func TestLatestBaselineIsSuiteAware(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	m := telemetry.NewManifest("benchdiff-test")
+	core := suite(Benchmark{Name: "BenchmarkA", NsPerOp: 1000})
+	kv := &Suite{Suite: "kv-serving", Benchmarks: []Benchmark{{Name: "kv/epoch/epoch", NsPerOp: 0.05}}}
+	// Interleave: core, kv, so the newest record overall is the wrong
+	// suite for a core comparison.
+	for _, s := range []*Suite{core, kv} {
+		if err := AppendHistory(path, s, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := LatestBaseline(recs, "core-microbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Suite != "core-microbench" || base.Benchmarks[0].Name != "BenchmarkA" {
+		t.Errorf("core baseline = %q/%q, want newest core-microbench record", base.Suite, base.Benchmarks[0].Name)
+	}
+	base, err = LatestBaseline(recs, "kv-serving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Suite != "kv-serving" {
+		t.Errorf("kv baseline suite = %q, want kv-serving", base.Suite)
+	}
+	// Empty suite name keeps the legacy newest-overall behavior.
+	base, err = LatestBaseline(recs, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Suite != "kv-serving" {
+		t.Errorf("unfiltered baseline suite = %q, want newest overall (kv-serving)", base.Suite)
+	}
+	// An unknown suite is a bootstrap signal, not a generic failure.
+	if _, err = LatestBaseline(recs, "nope"); !errors.Is(err, ErrNoBaseline) {
+		t.Errorf("unknown suite err = %v, want ErrNoBaseline", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package benchdiff
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 
@@ -12,7 +13,8 @@ import (
 // BENCH_history.jsonl: an append-only log of benchmark suites, one
 // JSON record per line, each stamped with the run manifest that
 // produced it. benchdiff -history compares a fresh suite against the
-// newest record; -append adds the fresh suite as a new record, so CI
+// newest record of the same suite name (records from different suites
+// interleave freely); -append adds the fresh suite as a new record, so CI
 // and local runs accumulate a machine-lineage of the hot paths.
 
 // HistoryRecord is one line of BENCH_history.jsonl.
@@ -49,18 +51,33 @@ func ReadHistory(path string) ([]HistoryRecord, error) {
 	return out, nil
 }
 
-// LatestBaseline returns the newest record's suite, for use as the
-// comparison baseline.
-func LatestBaseline(recs []HistoryRecord) (*Suite, error) {
+// LatestBaseline returns the newest record's suite whose name matches
+// suite, for use as the comparison baseline. History files hold
+// interleaved records from different suites (core-microbench,
+// kv-serving, ...), and a baseline is only meaningful within one
+// suite. An empty suite name matches any record (newest overall).
+// ErrNoBaseline reports that the history holds no record of the
+// requested suite — the caller may treat that as a bootstrap.
+func LatestBaseline(recs []HistoryRecord, suite string) (*Suite, error) {
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("benchdiff: history is empty")
+		return nil, fmt.Errorf("benchdiff: history is empty: %w", ErrNoBaseline)
 	}
-	s := recs[len(recs)-1].Suite
-	if s.Manifest == nil {
-		s.Manifest = recs[len(recs)-1].Manifest
+	for i := len(recs) - 1; i >= 0; i-- {
+		if suite != "" && recs[i].Suite.Suite != suite {
+			continue
+		}
+		s := recs[i].Suite
+		if s.Manifest == nil {
+			s.Manifest = recs[i].Manifest
+		}
+		return &s, nil
 	}
-	return &s, nil
+	return nil, fmt.Errorf("benchdiff: history has no record for suite %q: %w", suite, ErrNoBaseline)
 }
+
+// ErrNoBaseline is wrapped by LatestBaseline when the history file has
+// no record usable as a baseline for the requested suite.
+var ErrNoBaseline = errors.New("no baseline record")
 
 // AppendHistory appends one record to the history file, creating it
 // if needed. The suite's embedded manifest is hoisted to the record;

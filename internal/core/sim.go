@@ -585,8 +585,8 @@ func Simulate(tr *trace.Trace, p Params) (Result, error) {
 		return Result{}, err
 	}
 	for _, c := range tr.Chunks() {
-		for i := range c {
-			if err := s.Feed(c[i]); err != nil {
+		for i := 0; i < c.Len(); i++ {
+			if err := s.Feed(c.Event(i)); err != nil {
 				return Result{}, err
 			}
 		}
@@ -605,8 +605,8 @@ func SimulateAll(tr *trace.Trace, base Params) ([]Result, error) {
 		return nil, err
 	}
 	for _, c := range tr.Chunks() {
-		for i := range c {
-			if err := ms.Feed(c[i]); err != nil {
+		for i := 0; i < c.Len(); i++ {
+			if err := ms.Feed(c.Event(i)); err != nil {
 				return nil, err
 			}
 		}

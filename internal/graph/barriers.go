@@ -38,20 +38,12 @@ func BuildWithBarriers(tr *trace.Trace, p core.Params) (*Graph, []BarrierInfo, e
 	if err != nil {
 		return nil, nil, err
 	}
-	n := 0
-	for _, c := range tr.Chunks() {
-		for i := range c {
-			if c[i].IsPersist() {
-				n++
-			}
-		}
-	}
-	b.g.Grow(n)
+	b.g.Grow(tr.CountPersists())
 	var infos []BarrierInfo
 	epochs := make(map[int32]int64)
 	for _, c := range tr.Chunks() {
-		for i := range c {
-			e := c[i]
+		for i := 0; i < c.Len(); i++ {
+			e := c.Event(i)
 			if e.Kind.IsAnnotation() {
 				epochs[e.TID]++
 				infos = append(infos, BarrierInfo{

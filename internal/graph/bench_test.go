@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,8 @@ func benchTrace(n int) *trace.Trace {
 }
 
 // BenchmarkGraphBuild measures constraint-DAG construction over the
-// slab-allocated node and reused scratch storage, per model.
+// slab-allocated node and reused scratch storage, per model, for the
+// serial builder and BuildParallel at several worker counts.
 func BenchmarkGraphBuild(b *testing.B) {
 	tr := benchTrace(20000)
 	for _, m := range []core.Model{core.Strict, core.Epoch} {
@@ -47,5 +49,19 @@ func BenchmarkGraphBuild(b *testing.B) {
 			}
 			b.ReportMetric(float64(tr.Len()), "events/op")
 		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s-parallel%d", m, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g, err := BuildParallel(tr, core.Params{Model: m}, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if g.Len() == 0 {
+						b.Fatal("empty graph")
+					}
+				}
+				b.ReportMetric(float64(tr.Len()), "events/op")
+			})
+		}
 	}
 }

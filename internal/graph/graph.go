@@ -294,19 +294,11 @@ func Build(tr *trace.Trace, p core.Params) (*Graph, error) {
 		return nil, err
 	}
 	// Pre-pass: one graph node per persist event, so the node slab can
-	// be sized exactly before building.
-	n := 0
+	// be sized exactly before building (a planes-only SoA walk).
+	b.g.Grow(tr.CountPersists())
 	for _, c := range tr.Chunks() {
-		for i := range c {
-			if c[i].IsPersist() {
-				n++
-			}
-		}
-	}
-	b.g.Grow(n)
-	for _, c := range tr.Chunks() {
-		for i := range c {
-			if err := b.feed(c[i]); err != nil {
+		for i := 0; i < c.Len(); i++ {
+			if err := b.feed(c.Event(i)); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,476 @@
+package graph
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/intervals"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Parallel graph construction.
+//
+// Build's cost splits into two unequal halves: a stateful walk over the
+// trace that evolves the interval dependence frontier (inherently
+// serial — every event reads state the previous one wrote), and the
+// per-persist edge materialization (dedup scan, class assignment, slab
+// copy) that only *reads* frontier values. The frontier stores node
+// sets as immutable copy-on-write vecs (see frontier.go), so the walk
+// can capture, per persist, references to the exact vecs the serial
+// builder would have iterated — the tile list in ascending address
+// order plus the thread's program-order frontier — and hand edge
+// materialization to worker goroutines. Workers own disjoint nodes and
+// read only immutable vecs, so any worker count yields the same graph.
+//
+// Three invariants of the serial builder make the captured records
+// sufficient:
+//
+//   - frontier vecs are immutable once stored: vecUnion/mergeVecs/single
+//     never append to a published slice, so a captured reference is a
+//     snapshot;
+//   - in non-strict models a thread's active set only changes at
+//     barrier/sync/strand events, so the walker can keep it as one
+//     sorted vec and share the reference across an epoch's records;
+//   - the serial edge order is reproducible from the records: atomicity
+//     sources in ascending tile order, then conflict sources per tile
+//     (writer before reader, each vec sorted), then the program-order
+//     segment ascending — exactly what iterating the captured vecs
+//     yields, with the same first-source-wins dedup.
+//
+// Pending-set pruning (serial: `pending -= seen` at every persist) is
+// order-sensitive — a pruned node re-added by a later load must
+// survive — so the walker prunes tile sources eagerly and defers the
+// active-set portion to the next pending read or write: between a
+// persist and the next pending access the set is untouched, so the
+// deferred deletion observes the same state the serial builder did,
+// while a run of consecutive persists pays the O(active) sweep once.
+type wThread struct {
+	// active is the program-order frontier as a sorted immutable vec.
+	active nodeVec
+	// pending holds unbound cross-thread dependences (non-strict only).
+	pending nodeSet
+	// epochMax collects this epoch's persists; ids are assigned in
+	// trace order, so per-thread appends keep it sorted.
+	epochMax []NodeID
+	// prune defers the active-set deletion from pending (see above).
+	prune bool
+}
+
+func (t *wThread) flushPrune() {
+	if !t.prune {
+		return
+	}
+	t.prune = false
+	for _, id := range t.active {
+		delete(t.pending, id)
+	}
+}
+
+// tileRec is one frontier range a persist covered, in ascending
+// address order. The vecs are shared with the live frontier and
+// immutable.
+type tileRec struct {
+	lastP  NodeID
+	writer nodeVec
+	reader nodeVec
+}
+
+// persistRec captures everything edge materialization needs for one
+// persist: its node id, the thread's program-order frontier at persist
+// time, and the [t0,t1) window into the block's tile slab.
+type persistRec struct {
+	id     NodeID
+	active nodeVec
+	t0, t1 int32
+}
+
+// recBlock batches persist records so channel traffic is amortized.
+type recBlock struct {
+	recs  []persistRec
+	tiles []tileRec
+}
+
+const recBlockSize = 256
+
+var recBlockPool = sync.Pool{
+	New: func() any {
+		return &recBlock{
+			recs:  make([]persistRec, 0, recBlockSize),
+			tiles: make([]tileRec, 0, 4*recBlockSize),
+		}
+	},
+}
+
+func (b *recBlock) reset() *recBlock {
+	b.recs = b.recs[:0]
+	b.tiles = b.tiles[:0]
+	return b
+}
+
+// walker is the serial half of BuildParallel: the same frontier state
+// machine as builder.feed, but with thread sets held as sorted vecs
+// and edge materialization replaced by record capture.
+type walker struct {
+	g        *Graph
+	p        core.Params
+	strict   bool
+	barriers bool
+	strands  bool
+	lbs      bool
+	volc     bool
+	threads  map[int32]*wThread
+	blocks   *intervals.Map[memory.Addr, blockState]
+
+	peakRanges int
+	nextID     NodeID
+	idSlab     []NodeID
+	blk        *recBlock
+	out        func(*recBlock)
+}
+
+func newWalker(p core.Params, out func(*recBlock)) (*walker, error) {
+	b, err := newBuilder(p) // reuse model validation and flag decoding
+	if err != nil {
+		return nil, err
+	}
+	return &walker{
+		g:        b.g,
+		p:        b.p,
+		strict:   b.strict,
+		barriers: b.barriers,
+		strands:  b.strands,
+		lbs:      b.lbs,
+		volc:     b.volc,
+		threads:  make(map[int32]*wThread),
+		blocks:   newFrontier(),
+		blk:      recBlockPool.Get().(*recBlock).reset(),
+		out:      out,
+	}, nil
+}
+
+func (w *walker) thread(tid int32) *wThread {
+	t, ok := w.threads[tid]
+	if !ok {
+		t = &wThread{}
+		w.threads[tid] = t
+	}
+	return t
+}
+
+func (w *walker) span(e trace.Event) (lo, hi memory.Addr) {
+	g := w.p.TrackingGranularity
+	lo = memory.AlignDown(e.Addr, g)
+	hi = memory.AlignDown(e.Addr+memory.Addr(e.Size)-1, g) + memory.Addr(g)
+	return lo, hi
+}
+
+func (w *walker) trackPeak() {
+	if n := w.blocks.Len(); n > w.peakRanges {
+		w.peakRanges = n
+	}
+}
+
+// single mirrors builder.single: a slab-backed immutable singleton vec.
+func (w *walker) single(id NodeID) nodeVec {
+	if len(w.idSlab) == cap(w.idSlab) {
+		w.idSlab = make([]NodeID, 0, 1024)
+	}
+	w.idSlab = append(w.idSlab, id)
+	n := len(w.idSlab)
+	return nodeVec(w.idSlab[n-1 : n : n])
+}
+
+func (w *walker) feed(e trace.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	switch e.Kind {
+	case trace.Load:
+		if !w.volc && !memory.IsPersistent(e.Addr) {
+			return nil
+		}
+		t := w.thread(e.TID)
+		if !w.strict {
+			t.flushPrune()
+		}
+		lo, hi := w.span(e)
+		w.blocks.Update(lo, hi, func(_ intervals.Range[memory.Addr], bs blockState, ok bool) (blockState, bool) {
+			if !ok {
+				bs.lastP = -1
+			}
+			if w.strict {
+				t.active = vecUnion(t.active, bs.writer)
+			} else {
+				t.pending = intoSet(t.pending, bs.writer)
+			}
+			if w.lbs {
+				bs.reader = vecUnion(bs.reader, t.active)
+			}
+			return bs, ok || len(bs.reader) > 0
+		})
+		w.trackPeak()
+	case trace.Store, trace.RMW:
+		if memory.IsPersistent(e.Addr) {
+			w.persist(e)
+		} else if w.volc {
+			t := w.thread(e.TID)
+			if !w.strict {
+				t.flushPrune()
+			}
+			lo, hi := w.span(e)
+			w.blocks.Update(lo, hi, func(_ intervals.Range[memory.Addr], bs blockState, ok bool) (blockState, bool) {
+				if !ok {
+					bs.lastP = -1
+				}
+				if w.strict {
+					t.active = vecUnion(vecUnion(t.active, bs.writer), bs.reader)
+				} else {
+					t.pending = intoSet(intoSet(t.pending, bs.writer), bs.reader)
+				}
+				bs.writer = vecUnion(vecUnion(bs.writer, bs.reader), t.active)
+				bs.reader = nil
+				return bs, ok || len(bs.writer) > 0
+			})
+			w.trackPeak()
+		}
+	case trace.PersistBarrier:
+		if w.barriers {
+			w.bindEpoch(w.thread(e.TID))
+		}
+	case trace.NewStrand:
+		if w.strands {
+			t := w.thread(e.TID)
+			t.active = nil
+			t.epochMax = t.epochMax[:0]
+			clear(t.pending)
+			t.prune = false
+		}
+	case trace.PersistSync:
+		w.bindEpoch(w.thread(e.TID))
+	case trace.Malloc, trace.Free, trace.BeginWork, trace.EndWork:
+	}
+	return nil
+}
+
+func (w *walker) bindEpoch(t *wThread) {
+	t.flushPrune()
+	var sp nodeVec
+	if len(t.pending) > 0 {
+		sp = make(nodeVec, 0, len(t.pending))
+		for id := range t.pending {
+			sp = append(sp, id)
+		}
+		slices.Sort(sp)
+	}
+	if len(t.epochMax) > 0 {
+		t.active = mergeVecs(sp, t.epochMax)
+		t.epochMax = t.epochMax[:0]
+	} else {
+		t.active = vecUnion(t.active, sp)
+	}
+	clear(t.pending)
+}
+
+func (w *walker) persist(e trace.Event) {
+	t := w.thread(e.TID)
+	id := w.nextID
+	w.nextID++
+	lo, hi := w.span(e)
+
+	blk := w.blk
+	t0 := len(blk.tiles)
+	w.blocks.Each(lo, hi, func(_ intervals.Range[memory.Addr], bs blockState) bool {
+		blk.tiles = append(blk.tiles, tileRec{lastP: bs.lastP, writer: bs.writer, reader: bs.reader})
+		return true
+	})
+	// Capture the record before the frontier reset below mutates
+	// anything; t.active is immutable, so the reference is a snapshot.
+	blk.recs = append(blk.recs, persistRec{id: id, active: t.active, t0: int32(t0), t1: int32(len(blk.tiles))})
+
+	if w.strict {
+		t.active = w.single(id)
+	} else {
+		t.epochMax = append(t.epochMax, id)
+		// Eager tile-source pruning; the active-set portion is deferred
+		// (see wThread.prune).
+		for i := t0; i < len(blk.tiles); i++ {
+			tl := &blk.tiles[i]
+			if tl.lastP >= 0 {
+				delete(t.pending, tl.lastP)
+			}
+			for _, x := range tl.writer {
+				delete(t.pending, x)
+			}
+			for _, x := range tl.reader {
+				delete(t.pending, x)
+			}
+		}
+		t.prune = true
+	}
+	w.blocks.Set(lo, hi, blockState{writer: w.single(id), lastP: id})
+	w.trackPeak()
+
+	if len(blk.recs) == cap(blk.recs) {
+		w.ship()
+	}
+}
+
+func (w *walker) ship() {
+	if len(w.blk.recs) == 0 {
+		return
+	}
+	w.out(w.blk)
+	w.blk = recBlockPool.Get().(*recBlock).reset()
+}
+
+func (w *walker) statsOf() BuildStats {
+	return BuildStats{
+		FrontierRanges: w.blocks.Len(),
+		PeakRanges:     w.peakRanges,
+		Splits:         w.blocks.Splits,
+		Coalesces:      w.blocks.Coalesces,
+	}
+}
+
+// mat materializes edges from persist records. Each worker owns one;
+// workers touch disjoint nodes and share no mutable state.
+type mat struct {
+	g        *Graph
+	seen     []NodeID
+	edgeBuf  []Edge
+	edgeSlab []Edge
+}
+
+func (m *mat) addEdge(from NodeID, class EdgeClass) {
+	for _, s := range m.seen {
+		if s == from {
+			return
+		}
+	}
+	m.seen = append(m.seen, from)
+	m.edgeBuf = append(m.edgeBuf, Edge{From: from, Class: class})
+}
+
+func (m *mat) allocEdges(n int) []Edge {
+	if n == 0 {
+		return nil
+	}
+	if cap(m.edgeSlab)-len(m.edgeSlab) < n {
+		c := 4096
+		if n > c {
+			c = n
+		}
+		m.edgeSlab = make([]Edge, 0, c)
+	}
+	s := m.edgeSlab[len(m.edgeSlab) : len(m.edgeSlab)+n : len(m.edgeSlab)+n]
+	m.edgeSlab = m.edgeSlab[:len(m.edgeSlab)+n]
+	return s
+}
+
+// run materializes one block. Edge order per node reproduces the serial
+// builder exactly: atomicity sources in ascending tile order, conflict
+// sources per tile (writer before reader), then the program-order
+// segment — already ascending because rec.active is sorted — with
+// first-source-wins dedup across the phases.
+func (m *mat) run(blk *recBlock) {
+	for ri := range blk.recs {
+		rec := &blk.recs[ri]
+		m.seen = m.seen[:0]
+		m.edgeBuf = m.edgeBuf[:0]
+		tiles := blk.tiles[rec.t0:rec.t1]
+		for i := range tiles {
+			if tiles[i].lastP >= 0 {
+				m.addEdge(tiles[i].lastP, Atomicity)
+			}
+		}
+		for i := range tiles {
+			for _, x := range tiles[i].writer {
+				m.addEdge(x, Conflict)
+			}
+			for _, x := range tiles[i].reader {
+				m.addEdge(x, Conflict)
+			}
+		}
+		for _, x := range rec.active {
+			m.addEdge(x, ProgramOrder)
+		}
+		n := m.g.Nodes[rec.id]
+		n.In = m.allocEdges(len(m.edgeBuf))
+		copy(n.In, m.edgeBuf)
+	}
+}
+
+// BuildParallel constructs the same persist-order DAG as Build —
+// node-for-node, edge-for-edge, in the same order — using `workers`
+// goroutines for edge materialization. workers <= 1 materializes
+// inline with no goroutines. The graph and its Stats are identical at
+// any worker count; differential tests assert exact equality against
+// both Build and the retained reference builder.
+func BuildParallel(tr *trace.Trace, p core.Params, workers int) (*Graph, error) {
+	var inline *mat
+	var ch chan *recBlock
+	var wg sync.WaitGroup
+
+	out := func(blk *recBlock) {
+		if ch != nil {
+			ch <- blk
+		} else {
+			inline.run(blk)
+			recBlockPool.Put(blk)
+		}
+	}
+	w, err := newWalker(p, out)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-create every node so g.Nodes is fully formed (and immutable)
+	// before any worker reads it: workers index g.Nodes concurrently
+	// with the walker, which must therefore not append.
+	w.g.Grow(tr.CountPersists())
+	for _, c := range tr.Chunks() {
+		for i := 0; i < c.Len(); i++ {
+			if e := c.Event(i); e.IsPersist() {
+				w.g.AddNode("", e)
+			}
+		}
+	}
+
+	if workers > 1 {
+		ch = make(chan *recBlock, 2*workers)
+		wg.Add(workers - 1)
+		for i := 0; i < workers-1; i++ {
+			go func() {
+				defer wg.Done()
+				m := &mat{g: w.g}
+				for blk := range ch {
+					m.run(blk)
+					recBlockPool.Put(blk)
+				}
+			}()
+		}
+	} else {
+		inline = &mat{g: w.g}
+	}
+	finish := func() {
+		if ch != nil {
+			close(ch)
+			wg.Wait()
+		}
+	}
+
+	for _, c := range tr.Chunks() {
+		for i := 0; i < c.Len(); i++ {
+			if err := w.feed(c.Event(i)); err != nil {
+				finish()
+				return nil, err
+			}
+		}
+	}
+	w.ship()
+	recBlockPool.Put(w.blk)
+	finish()
+	w.g.Stats = w.statsOf()
+	return w.g, nil
+}

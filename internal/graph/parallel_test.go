@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// requireIdenticalGraph asserts exact equality — same nodes, same edge
+// slices in the same order, same Stats — not just the edge-set
+// equality requireSameGraph checks. BuildParallel promises
+// byte-identical output at any worker count; the CI dump-and-cmp step
+// relies on it.
+func requireIdenticalGraph(t *testing.T, ctx string, got, want *Graph) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d nodes, serial has %d", ctx, got.Len(), want.Len())
+	}
+	for i := range want.Nodes {
+		gn, wn := got.Nodes[i], want.Nodes[i]
+		if gn.Event != wn.Event {
+			t.Fatalf("%s: node %d event %+v, serial %+v", ctx, i, gn.Event, wn.Event)
+		}
+		if len(gn.In) != len(wn.In) {
+			t.Fatalf("%s: node %d has %d edges, serial %d\n got: %v\nwant: %v",
+				ctx, i, len(gn.In), len(wn.In), gn.In, wn.In)
+		}
+		for j := range wn.In {
+			if gn.In[j] != wn.In[j] {
+				t.Fatalf("%s: node %d edge %d = %v, serial %v (order must match exactly)\n got: %v\nwant: %v",
+					ctx, i, j, gn.In[j], wn.In[j], gn.In, wn.In)
+			}
+		}
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats %+v, serial %+v", ctx, got.Stats, want.Stats)
+	}
+}
+
+// TestParallelBuilderMatchesSerial is the tentpole differential test
+// for BuildParallel: on random traces across every model, both
+// granularities, and several worker counts, the parallel builder must
+// reproduce Build's graph exactly (same edge order, same stats) and
+// the reference builder's edge sets.
+func TestParallelBuilderMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 200)
+		for _, m := range core.Models {
+			for _, gran := range []uint64{0, 32} {
+				p := core.Params{Model: m, TrackingGranularity: gran}
+				want, err := Build(tr, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := refBuild(tr, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 2, 4, 7} {
+					ctx := fmt.Sprintf("seed %d model %v gran %d workers %d", seed, m, gran, workers)
+					got, err := BuildParallel(tr, p, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireIdenticalGraph(t, ctx, got, want)
+					requireSameGraph(t, ctx, got, ref)
+					if gc, wc := got.CriticalPath(), want.CriticalPath(); gc != wc {
+						t.Fatalf("%s: critical path %d, serial %d", ctx, gc, wc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBuilderMatchesSerialOnPSO repeats the check on
+// machine-generated PSO-reordered traces with multi-word stores
+// crossing block boundaries at coarse granularity.
+func TestParallelBuilderMatchesSerialOnPSO(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tr := &trace.Trace{}
+		m := exec.NewMachine(exec.Config{Threads: 3, Seed: seed, Sink: tr, Consistency: exec.PSO})
+		s := m.SetupThread()
+		base := s.MallocPersistent(1024, 64)
+		flag := s.MallocVolatile(8, 8)
+		m.Run(func(th *exec.Thread) {
+			for i := uint64(0); i < 30; i++ {
+				th.Store8(base+memory.Addr(th.TID()*256)+memory.Addr((i%4)*8), i)
+				if i%5 == 0 {
+					th.PersistBarrier()
+				}
+				if i%7 == 0 {
+					th.Fence()
+					th.Add8(flag, 1)
+				}
+			}
+		})
+		for _, mo := range core.Models {
+			for _, gran := range []uint64{0, 32} {
+				p := core.Params{Model: mo, TrackingGranularity: gran}
+				want, err := Build(tr, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 4} {
+					ctx := fmt.Sprintf("pso seed %d model %v gran %d workers %d", seed, mo, gran, workers)
+					got, err := BuildParallel(tr, p, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireIdenticalGraph(t, ctx, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBuilderErrors pins the error path: an invalid event must
+// abort the build (workers drained, no panic) with the same error the
+// serial builder reports.
+func TestParallelBuilderErrors(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Emit(trace.Event{TID: 0, Kind: trace.Store, Addr: memory.PersistentBase, Size: 8, Val: 1})
+	tr.Emit(trace.Event{TID: 0, Kind: trace.Store, Addr: memory.PersistentBase + 8, Size: 0, Val: 1}) // bad size
+	_, serr := Build(tr, core.Params{Model: core.Epoch})
+	if serr == nil {
+		t.Fatal("serial build accepted invalid event")
+	}
+	for _, workers := range []int{1, 4} {
+		_, perr := BuildParallel(tr, core.Params{Model: core.Epoch}, workers)
+		if perr == nil {
+			t.Fatalf("workers=%d: parallel build accepted invalid event", workers)
+		}
+		if perr.Error() != serr.Error() {
+			t.Fatalf("workers=%d: error %q, serial %q", workers, perr, serr)
+		}
+	}
+	_, err := BuildParallel(tr, core.Params{Model: core.Model(99)}, 4)
+	if err == nil {
+		t.Fatal("parallel build accepted unknown model")
+	}
+}

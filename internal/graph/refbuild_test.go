@@ -81,18 +81,10 @@ func refBuild(tr *trace.Trace, p core.Params) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := 0
+	b.g.Grow(tr.CountPersists())
 	for _, c := range tr.Chunks() {
-		for i := range c {
-			if c[i].IsPersist() {
-				n++
-			}
-		}
-	}
-	b.g.Grow(n)
-	for _, c := range tr.Chunks() {
-		for i := range c {
-			if err := b.feed(c[i]); err != nil {
+		for i := 0; i < c.Len(); i++ {
+			if err := b.feed(c.Event(i)); err != nil {
 				return nil, err
 			}
 		}

@@ -69,8 +69,8 @@ func BenchmarkTraceReplay(b *testing.B) {
 	var sink uint64
 	for i := 0; i < b.N; i++ {
 		for _, c := range tr.Chunks() {
-			for j := range c {
-				sink += c[j].Val
+			for _, v := range c.Vals() {
+				sink += v
 			}
 		}
 	}
@@ -89,8 +89,8 @@ func TestTraceReplayAllocs(t *testing.T) {
 	var sink uint64
 	if allocs := testing.AllocsPerRun(10, func() {
 		for _, c := range tr.Chunks() {
-			for j := range c {
-				sink += c[j].Val
+			for _, v := range c.Vals() {
+				sink += v
 			}
 		}
 	}); allocs != 0 {

@@ -177,16 +177,16 @@ func WriteAll(w io.Writer, tr *Trace) error {
 	var seq uint64
 	for _, c := range tr.Chunks() {
 		buf := (*bp)[:0]
-		for i := range c {
-			e := &c[i]
+		kinds, sizes, tids, addrs, vals := c.Kinds(), c.Sizes(), c.TIDs(), c.Addrs(), c.Vals()
+		for i := range kinds {
 			var rec [recordSize]byte
 			binary.LittleEndian.PutUint64(rec[0:], seq)
 			seq++
-			binary.LittleEndian.PutUint32(rec[8:], uint32(e.TID))
-			rec[12] = byte(e.Kind)
-			rec[13] = e.Size
-			binary.LittleEndian.PutUint64(rec[14:], uint64(e.Addr))
-			binary.LittleEndian.PutUint64(rec[22:], e.Val)
+			binary.LittleEndian.PutUint32(rec[8:], uint32(tids[i]))
+			rec[12] = byte(kinds[i])
+			rec[13] = sizes[i]
+			binary.LittleEndian.PutUint64(rec[14:], uint64(addrs[i]))
+			binary.LittleEndian.PutUint64(rec[22:], vals[i])
 			buf = append(buf, rec[:]...)
 		}
 		*bp = buf[:0]

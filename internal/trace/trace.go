@@ -185,54 +185,147 @@ type discardSink struct{}
 
 func (discardSink) Emit(Event) {}
 
-// Chunked event storage. Traces routinely hold millions of 32-byte
-// events; a single flat slice pays a reallocation-and-copy tax every
-// time it grows and leaves the allocator with one huge object per
-// trace. Instead events live in fixed-capacity chunks recycled through
-// a sync.Pool, so growth never copies and sweep-style pipelines that
-// build and drop many traces reuse the same memory.
+// Chunked structure-of-arrays event storage. Traces routinely hold
+// millions of events; a single flat []Event pays a reallocation-and-copy
+// tax every time it grows, leaves the allocator with one huge object
+// per trace, and — at 32 bytes per AoS event, padding included — drags
+// every analysis pass through fields it never reads. Instead events
+// live in fixed-capacity column chunks (one plane per field: op, size,
+// thread, address, value) recycled through a sync.Pool, so growth never
+// copies, sweep-style pipelines reuse the same memory, and kernels that
+// only need one or two planes (persist counting reads op+addr; epoch
+// segmentation reads op+thread) walk dense slabs at ~22 B/event.
+//
+// Seq is not stored at all: for traces built through Emit it equals the
+// event's position, so each chunk carries only its base. The one caller
+// that pushes events with explicit sequence numbers (codec.ReadAll,
+// preserving decoded streams) triggers a rare per-chunk overflow plane.
 const (
 	chunkShift = 13
-	// chunkCap is the number of events per chunk (256 KiB of events).
+	// chunkCap is the number of events per chunk (~176 KiB of planes).
 	chunkCap  = 1 << chunkShift
 	chunkMask = chunkCap - 1
 )
 
-var chunkPool sync.Pool // of []Event with cap chunkCap
+// Chunk is one fixed-capacity block of column storage. All planes share
+// one length; every chunk of a trace except the last is full. Callers
+// must treat the planes as read-only; they remain owned by the trace.
+type Chunk struct {
+	n    int
+	base uint64 // Seq of element 0 (the chunk's position in the trace)
+	kind *[chunkCap]Kind
+	size *[chunkCap]uint8
+	tid  *[chunkCap]int32
+	addr *[chunkCap]memory.Addr
+	val  *[chunkCap]uint64
+	// seq overrides the implicit base+i sequence numbers; nil (always,
+	// for machine-emitted traces) means implicit.
+	seq []uint64
+}
 
-func newChunk() []Event {
-	if c, ok := chunkPool.Get().([]Event); ok {
+// Len returns the number of events in the chunk.
+func (c *Chunk) Len() int { return c.n }
+
+// Kinds returns the op plane (event kinds), one entry per event.
+func (c *Chunk) Kinds() []Kind { return c.kind[:c.n] }
+
+// Sizes returns the access-size plane.
+func (c *Chunk) Sizes() []uint8 { return c.size[:c.n] }
+
+// TIDs returns the thread plane.
+func (c *Chunk) TIDs() []int32 { return c.tid[:c.n] }
+
+// Addrs returns the address plane.
+func (c *Chunk) Addrs() []memory.Addr { return c.addr[:c.n] }
+
+// Vals returns the value plane.
+func (c *Chunk) Vals() []uint64 { return c.val[:c.n] }
+
+// Event assembles the i'th event of the chunk from its planes.
+func (c *Chunk) Event(i int) Event {
+	e := Event{
+		Seq:  c.base + uint64(i),
+		TID:  c.tid[i],
+		Kind: c.kind[i],
+		Size: c.size[i],
+		Addr: c.addr[i],
+		Val:  c.val[i],
+	}
+	if c.seq != nil {
+		e.Seq = c.seq[i]
+	}
+	return e
+}
+
+var chunkPool sync.Pool // of *Chunk with all planes allocated
+
+func newChunk(base uint64) *Chunk {
+	if c, ok := chunkPool.Get().(*Chunk); ok {
+		c.n, c.base, c.seq = 0, base, nil
 		return c
 	}
-	return make([]Event, 0, chunkCap)
+	return &Chunk{
+		base: base,
+		kind: new([chunkCap]Kind),
+		size: new([chunkCap]uint8),
+		tid:  new([chunkCap]int32),
+		addr: new([chunkCap]memory.Addr),
+		val:  new([chunkCap]uint64),
+	}
 }
 
 // Trace is an in-memory event sequence. The zero value is an empty
 // trace ready to use.
 //
-// Storage is chunked (see chunkCap): every chunk except the last holds
+// Storage is chunked SoA (see Chunk): every chunk except the last holds
 // exactly chunkCap events, which keeps At O(1) and lets hot loops walk
 // Chunks directly.
 type Trace struct {
-	chunks [][]Event
+	chunks []*Chunk
 	n      int
 }
 
-// push appends an event without touching its Seq.
+// push appends an event, preserving an explicit Seq that differs from
+// the event's position (decoded streams only).
 func (t *Trace) push(e Event) {
+	c := t.emit(e)
+	if e.Seq != uint64(t.n-1) && c.seq == nil {
+		// Materialize the override plane for the whole chunk.
+		c.seq = make([]uint64, c.n-1, chunkCap)
+		for i := range c.seq {
+			c.seq[i] = c.base + uint64(i)
+		}
+	}
+	if c.seq != nil {
+		c.seq = append(c.seq, e.Seq)
+	}
+}
+
+// emit appends an event's planes and returns the receiving chunk.
+func (t *Trace) emit(e Event) *Chunk {
 	k := len(t.chunks)
-	if k == 0 || len(t.chunks[k-1]) == chunkCap {
-		t.chunks = append(t.chunks, newChunk())
+	if k == 0 || t.chunks[k-1].n == chunkCap {
+		t.chunks = append(t.chunks, newChunk(uint64(t.n)))
 		k++
 	}
-	t.chunks[k-1] = append(t.chunks[k-1], e)
+	c := t.chunks[k-1]
+	i := c.n
+	c.kind[i] = e.Kind
+	c.size[i] = e.Size
+	c.tid[i] = e.TID
+	c.addr[i] = e.Addr
+	c.val[i] = e.Val
+	c.n++
 	t.n++
+	return c
 }
 
 // Emit appends an event, assigning its Seq; Trace implements Sink.
 func (t *Trace) Emit(e Event) {
-	e.Seq = uint64(t.n)
-	t.push(e)
+	c := t.emit(e)
+	if c.seq != nil {
+		c.seq = append(c.seq, uint64(t.n-1))
+	}
 }
 
 // Len returns the number of events.
@@ -241,15 +334,15 @@ func (t *Trace) Len() int { return t.n }
 // At returns the event at position i (which equals its Seq for traces
 // built through Emit).
 func (t *Trace) At(i int) Event {
-	return t.chunks[i>>chunkShift][i&chunkMask]
+	return t.chunks[i>>chunkShift].Event(i & chunkMask)
 }
 
 // All iterates the events in SC order.
 func (t *Trace) All() iter.Seq[Event] {
 	return func(yield func(Event) bool) {
 		for _, c := range t.chunks {
-			for i := range c {
-				if !yield(c[i]) {
+			for i := 0; i < c.n; i++ {
+				if !yield(c.Event(i)) {
 					return
 				}
 			}
@@ -257,17 +350,17 @@ func (t *Trace) All() iter.Seq[Event] {
 	}
 }
 
-// Chunks exposes the underlying storage for hot replay loops: events in
-// order, grouped into contiguous slices. Callers must treat the chunks
-// as read-only; they remain owned by the trace.
-func (t *Trace) Chunks() [][]Event { return t.chunks }
+// Chunks exposes the underlying SoA storage for hot replay loops:
+// events in order, grouped into contiguous column blocks. Callers must
+// treat the planes as read-only; they remain owned by the trace.
+func (t *Trace) Chunks() []*Chunk { return t.chunks }
 
 // Release returns the trace's storage to the chunk pool and empties the
-// trace. Only an exclusive owner may call it: any event slice or chunk
-// view previously obtained from the trace becomes invalid.
+// trace. Only an exclusive owner may call it: any plane or chunk view
+// previously obtained from the trace becomes invalid.
 func (t *Trace) Release() {
 	for i, c := range t.chunks {
-		chunkPool.Put(c[:0]) //nolint:staticcheck // slice headers are cheap
+		chunkPool.Put(c)
 		t.chunks[i] = nil
 	}
 	t.chunks = nil
@@ -327,6 +420,21 @@ func (t *Trace) Filter(keep func(Event) bool) []Event {
 // Persists returns the events that durably write NVRAM.
 func (t *Trace) Persists() []Event {
 	return t.Filter(Event.IsPersist)
+}
+
+// CountPersists returns the number of events that durably write NVRAM,
+// touching only the op and address planes.
+func (t *Trace) CountPersists() int {
+	n := 0
+	for _, c := range t.chunks {
+		kinds, addrs := c.Kinds(), c.Addrs()
+		for i, k := range kinds {
+			if k.HasStoreSemantics() && memory.IsPersistent(addrs[i]) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // SplitByThread partitions the trace into per-thread subsequences

@@ -8,12 +8,19 @@
 # repeats every benchmark (go test -count), leaving repeated names in
 # the JSON — benchdiff groups those into per-iteration samples and can
 # then apply its Mann-Whitney noise gate instead of thresholds alone.
+#
+# Each benchmark's first iteration runs cold (page faults, branch
+# predictors, the process's first large allocations) and lands far off
+# the steady-state distribution, skewing means and tripping the noise
+# gate. One extra warmup iteration per benchmark runs and is
+# discarded, so the JSON holds exactly `count` steady-state samples
+# per name.
 set -e
 benchtime="${1:-100x}"
 count="${2:-1}"
 cd "$(dirname "$0")/.."
 
-go test -run '^$' -benchmem -benchtime "$benchtime" -count "$count" \
+go test -run '^$' -benchmem -benchtime "$benchtime" -count $((count + 1)) \
     -bench 'BenchmarkSimFeed|BenchmarkSimulateAll|BenchmarkTraceReplay|BenchmarkTraceEmit|BenchmarkGraphBuild' \
     ./internal/core ./internal/trace ./internal/graph |
 awk -v benchtime="$benchtime" '
@@ -23,6 +30,7 @@ BEGIN {
 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; next } # discard warmup sample
     ns = ""; bytes = ""; allocs = ""
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
