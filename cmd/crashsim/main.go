@@ -351,25 +351,45 @@ func campaignDevice() nvram.Config {
 	return nvram.Config{Latency: 100 * time.Nanosecond, RetryBackoff: 50 * time.Nanosecond}
 }
 
-// replay parses a repro string, rebuilds the recorded workload, and
-// re-runs the recorded scenario. Exit status 2 means the corruption
-// reproduced.
+// replay parses a repro string, rebuilds the recorded workload (the
+// queue/journal/pstm grid, or the sharded KV store for workload=kv
+// lines such as kvbench -exhaustive counterexamples), and re-runs the
+// recorded scenario. Exit status 2 means the corruption reproduced.
 func replay(line string) int {
 	s, err := fault.ParseRepro(line)
 	if err != nil {
 		fatal(err)
 	}
-	opts, err := workload.FromScenario(s)
-	if err != nil {
-		fatal(err)
-	}
-	run, err := workload.Build(opts, nil)
-	if err != nil {
-		fatal(err)
+	var run *workload.Run
+	var model core.Model
+	if wl, _ := s.Param("workload"); wl == "kv" {
+		kvOpts, err := workload.KVFromScenario(s)
+		if err != nil {
+			fatal(err)
+		}
+		run, err = workload.BuildKV(kvOpts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		pol, err := workload.ParsePolicy(kvOpts.PolicyStr)
+		if err != nil {
+			fatal(err)
+		}
+		model = workload.ModelForPolicy("kv", pol)
+	} else {
+		opts, err := workload.FromScenario(s)
+		if err != nil {
+			fatal(err)
+		}
+		run, err = workload.Build(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		model = opts.Model
 	}
 	fmt.Printf("workload : %s\n", run.Describe)
 	fmt.Printf("scenario : cut %d nodes, plan [%s]\n", s.Cut.Size(), s.Plan.String())
-	class, rerr := observer.Replay(run.Trace, core.Params{Model: opts.Model}, run.Checked, s, campaignDevice())
+	class, rerr := observer.Replay(run.Trace, core.Params{Model: model}, run.Checked, s, campaignDevice())
 	if rerr != nil && class == observer.Masked {
 		// classify never produces Masked with an error; this is an
 		// infrastructure failure (graph build or cut/workload mismatch).

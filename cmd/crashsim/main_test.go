@@ -1,0 +1,81 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// TestReplayKVDispatch pins the -replay workload dispatch: repro lines
+// whose params carry workload=kv (emitted by kvbench -check/-exhaustive)
+// rebuild through KVFromScenario/BuildKV rather than the queue/journal
+// grid, and a fully-persisted cut replays clean.
+func TestReplayKVDispatch(t *testing.T) {
+	kvOpts := workload.KVOptions{
+		Shards: 2, Keys: 8, Threads: 2, Ops: 8,
+		ReadFrac: 0.5, Seed: 7, PolicyStr: "epoch",
+	}
+	pol, err := workload.ParsePolicy(kvOpts.PolicyStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvOpts.Policy, err = workload.JournalPolicy(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := workload.BuildKV(kvOpts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := workload.ModelForPolicy("kv", pol)
+	g, err := graph.Build(run.Trace, core.Params{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := graph.Cut{Included: make([]bool, g.Len())}
+	for i := range full.Included {
+		full.Included[i] = true
+	}
+	s := fault.Scenario{Params: kvOpts.Params(), Cut: full}
+	if got := replay(s.Repro()); got != 0 {
+		t.Errorf("replay of fully-persisted kv cut exited %d, want 0", got)
+	}
+}
+
+// TestReplayQueueDispatch keeps the non-kv path covered: a queue repro
+// line still rebuilds via FromScenario/Build.
+func TestReplayQueueDispatch(t *testing.T) {
+	o := workload.Options{
+		Workload: "queue", Threads: 1, Inserts: 2, Payload: 16, Seed: 1,
+		DesignStr: "cwl", PolicyStr: "epoch",
+	}
+	var err error
+	o.Design, err = workload.ParseDesign(o.DesignStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Policy, err = workload.ParsePolicy(o.PolicyStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Model = workload.ModelForPolicy(o.Workload, o.Policy)
+	run, err := workload.Build(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(run.Trace, core.Params{Model: o.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := graph.Cut{Included: make([]bool, g.Len())}
+	for i := range full.Included {
+		full.Included[i] = true
+	}
+	s := fault.Scenario{Params: o.Params(), Cut: full}
+	if got := replay(s.Repro()); got != 0 {
+		t.Errorf("replay of fully-persisted queue cut exited %d, want 0", got)
+	}
+}

@@ -9,6 +9,15 @@
 //	        [-zipf S] [-seed S] [-policies strict,epoch,racing,strand]
 //	        [-integrity] [-parallel N] [-json] [-out FILE] [-history FILE]
 //	        [-graph-dump FILE -graph-build serial|parallel -graph-workers N]
+//	        [-check] [-exhaustive] [-state-budget N]
+//
+// -check skips the bench sweep and runs the witness-pair persistency
+// checker over each policy's trace under its target model;
+// -exhaustive additionally runs the bounded model checker from
+// internal/persistcheck/exhaustive, classifying every reachable crash
+// state (use small -shards/-keys/-ops grids: the checker refuses
+// fixtures whose state space exceeds -state-budget). Both follow the
+// persistcheck exit contract: status 2 means hazards were found.
 //
 // Every reported number is simulated and deterministic: the same
 // flags produce the same bytes, so -out artifacts diff cleanly and
@@ -30,6 +39,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/journal"
+	"repro/internal/persistcheck"
+	"repro/internal/persistcheck/exhaustive"
 	"repro/internal/queue"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -82,6 +93,9 @@ func main() {
 		graphDump  = flag.String("graph-dump", "", "build the persist-order graph for the first policy and write a deterministic dump to this file")
 		graphBuild = flag.String("graph-build", "serial", "graph builder for -graph-dump: serial|parallel")
 		graphWkrs  = flag.Int("graph-workers", 4, "worker count for -graph-build parallel")
+		checkF     = flag.Bool("check", false, "checks-only mode: run the persistency checker per policy instead of the bench sweep; exit 2 on hazards")
+		exhaustF   = flag.Bool("exhaustive", false, "with -check sizes: also enumerate and classify every reachable crash state (implies -check)")
+		stateBudgt = flag.Int("state-budget", 0, "exhaustive checker state budget; exceeding it refuses the fixture (0 = 1<<20)")
 	)
 	flag.Parse()
 
@@ -105,6 +119,10 @@ func main() {
 	grid, err := parseGrid(*policyStr, *shards, *keys, *threads, *ops, *readFrac, *zipfS, *seed, *integrity)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *checkF || *exhaustF {
+		os.Exit(runChecks(grid, *exhaustF, *stateBudgt, *parallel, cache))
 	}
 
 	// Sweep: one grid item per policy. Each item traces (or replays) the
@@ -335,6 +353,57 @@ func dumpGraph(path, builder string, workers int, item gridItem, cache *bench.Tr
 	}
 	fmt.Fprintf(os.Stderr, "kvbench: wrote %s graph dump (%d nodes) to %s\n", builder, g.Len(), path)
 	return nil
+}
+
+// runChecks is the -check / -exhaustive mode: instead of the bench
+// sweep, each policy's trace goes through the witness-pair persistency
+// checker under its target model — and with -exhaustive through the
+// bounded model checker too, which enumerates every reachable crash
+// state and reports the correctness condition met. Policies run
+// sequentially (the sweep workers go to the exhaustive enumeration),
+// so output is deterministic at any -parallel. The exit contract
+// matches cmd/persistcheck: 2 when any hazard or hazardous verdict was
+// found, 0 when clean.
+func runChecks(grid []gridItem, exhaustiveMode bool, stateBudget, parallel int, cache *bench.TraceCache) int {
+	hazards, exHazards := 0, 0
+	for _, item := range grid {
+		run, err := workload.BuildKV(item.opts, cache)
+		if err != nil {
+			fatal(err)
+		}
+		model := workload.ModelForPolicy("kv", item.qpol)
+		fmt.Printf("workload : %s\n", run.Describe)
+		fmt.Printf("model    : %v\n", model)
+		rep, err := persistcheck.Check(run.Trace, core.Params{Model: model}, run.Checks, persistcheck.Config{
+			ReproParams: item.opts.Params(),
+			SiteLabel:   run.SiteLabel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.SortFindings()
+		fmt.Print(rep)
+		hazards += rep.Hazards()
+		if exhaustiveMode {
+			res, err := exhaustive.Check(run.Trace, core.Params{Model: model}, run.Recover, run.Checked,
+				exhaustive.Config{
+					Budget:      stateBudget,
+					ReproParams: item.opts.Params(),
+					Sweep:       sweep.Config{Parallel: parallel},
+				})
+			if err != nil {
+				fatal(fmt.Errorf("policy %s: %w", item.name, err))
+			}
+			fmt.Print(res)
+			exHazards += res.Hazards
+		}
+	}
+	if hazards > 0 || exHazards > 0 {
+		fmt.Printf("verdict  : %d persistency hazard(s), %d hazardous crash state(s) found\n", hazards, exHazards)
+		return 2
+	}
+	fmt.Println("verdict  : no persistency hazards found")
+	return 0
 }
 
 func writeJSON(path string, v any) error {

@@ -1,8 +1,8 @@
 // Command persistcheck statically analyzes a recorded workload
 // execution for persistency hazards — without running the crash
 // simulator. It traces the selected workload, builds the persist-order
-// constraint graph under the selected model, and runs the four
-// analyses from internal/persistcheck:
+// constraint graph under the selected model, and runs the analyses
+// from internal/persistcheck:
 //
 //   - epoch races: conflicting persists to the same block unordered
 //     under the model but ordered under sequential consistency
@@ -19,6 +19,13 @@
 //     checksum, or durable word) — robustness findings, advisory by
 //     default; -require-integrity turns them into failures
 //
+// -exhaustive additionally runs the bounded model checker
+// (internal/persistcheck/exhaustive): it enumerates every reachable
+// post-crash NVRAM image of the trace, classifies each through the
+// structure's recovery, and reports the correctness condition met —
+// durably-linearizable, detectably-recoverable, or hazardous with a
+// minimized counterexample replayable via `crashsim -replay`.
+//
 // Usage:
 //
 //	persistcheck [-workload queue|journal|pstm] [-design cwl|2lc]
@@ -27,47 +34,159 @@
 //	             [-threads N] [-inserts N] [-payload N] [-seed S]
 //	             [-break-barrier] [-omit-completion-barrier]
 //	             [-break-commit] [-omit-strand-recipe]
-//	             [-integrity] [-require-integrity]
+//	             [-integrity] [-require-integrity] [-sparse-blocks]
+//	             [-exhaustive] [-state-budget N] [-parallel N]
 //	             [-limit N] [-metrics-out FILE]
 //
 // Without -model the checker uses the policy's natural target model
 // (the Table 1 column pairing); -all-models checks every model in one
-// run. Hazard findings carry a one-line repro in the fault-campaign
-// format: paste it into `crashsim -replay` (campaign hazards) or rerun
-// crashsim with the printed parameters to watch the observer reach the
-// divergent recovery state. Exit status 2 means hazards were found.
+// run, in a deterministic order at any -parallel worker count. Hazard
+// findings carry a one-line repro in the fault-campaign format: paste
+// it into `crashsim -replay` (campaign hazards) or rerun crashsim with
+// the printed parameters to watch the observer reach the divergent
+// recovery state. Exit status 2 means hazards were found (witness-pair
+// hazards, or a hazardous exhaustive verdict).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/persistcheck"
+	"repro/internal/persistcheck/exhaustive"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
+// checkConfig is everything one checker invocation needs; main parses
+// flags into it, tests construct it directly.
+type checkConfig struct {
+	opts        workload.Options // Model overridden per grid entry
+	models      []core.Model
+	exhaustive  bool
+	stateBudget int
+	parallel    int
+	limit       int
+	requireInt  bool
+	reg         *telemetry.Registry
+}
+
+// modelOutput is one model's rendered report plus its tallies.
+type modelOutput struct {
+	text       string
+	describe   string
+	rep        *persistcheck.Report
+	hazards    int
+	robustness int
+	exHazards  int
+}
+
+// checkModels runs the witness-pair checker (and optionally the
+// exhaustive checker) for every model in the grid, fanning models out
+// across sweep workers. Output is assembled in model order and findings
+// are canonically sorted, so the result is byte-identical at any
+// worker count.
+func checkModels(cfg checkConfig) (string, *modelOutput, error) {
+	outs := make([]*modelOutput, len(cfg.models))
+	// With a single model the inner exhaustive sweep gets the workers;
+	// with a model grid the models themselves fan out.
+	inner, outer := 1, cfg.parallel
+	if len(cfg.models) == 1 {
+		inner, outer = cfg.parallel, 1
+	}
+	err := sweep.Run(len(cfg.models), sweep.Config{Parallel: outer, Name: "persistcheck-models"},
+		func(i int) (*modelOutput, error) {
+			model := cfg.models[i]
+			opts := cfg.opts
+			opts.Model = model
+			run, err := workload.Build(opts, nil)
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "model    : %v\n", model)
+			rep, err := persistcheck.Check(run.Trace, core.Params{Model: model}, run.Checks, persistcheck.Config{
+				Limit:       cfg.limit,
+				ReproParams: opts.Params(),
+				SiteLabel:   run.SiteLabel,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep.SortFindings()
+			fmt.Fprint(&b, rep)
+			out := &modelOutput{
+				describe:   run.Describe,
+				rep:        rep,
+				hazards:    rep.Hazards(),
+				robustness: rep.RobustnessFindings(),
+			}
+			if cfg.exhaustive {
+				res, err := exhaustive.Check(run.Trace, core.Params{Model: model}, run.Recover, run.Checked,
+					exhaustive.Config{
+						Budget:      cfg.stateBudget,
+						ReproParams: opts.Params(),
+						Sweep:       sweep.Config{Parallel: inner},
+					})
+				if err != nil {
+					return nil, fmt.Errorf("model %v: %w", model, err)
+				}
+				fmt.Fprint(&b, res)
+				out.exHazards = res.Hazards
+			}
+			out.text = b.String()
+			return out, nil
+		},
+		func(i int, v *modelOutput) error {
+			// Metrics are observed at merge time, in model order, so
+			// snapshots are deterministic at any worker count.
+			if cfg.reg != nil {
+				persistcheck.Observe(cfg.reg, v.rep)
+			}
+			outs[i] = v
+			return nil
+		})
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	total := &modelOutput{describe: outs[0].describe}
+	for _, o := range outs {
+		b.WriteString(o.text)
+		total.hazards += o.hazards
+		total.robustness += o.robustness
+		total.exHazards += o.exHazards
+	}
+	return b.String(), total, nil
+}
+
 func main() {
 	var (
-		wl         = flag.String("workload", "queue", "queue, journal, or pstm")
-		designStr  = flag.String("design", "cwl", "cwl or 2lc (queue only)")
-		policyStr  = flag.String("policy", "epoch", "strict|epoch|racing|strand")
-		modelStr   = flag.String("model", "", "persistency model (default: the policy's target model)")
-		allModels  = flag.Bool("all-models", false, "check under every persistency model")
-		threads    = flag.Int("threads", 2, "simulated threads")
-		inserts    = flag.Int("inserts", 16, "total inserts/transactions")
-		payloadLen = flag.Int("payload", 64, "payload bytes (queue only)")
-		seed       = flag.Int64("seed", 1, "interleaving seed")
-		breakBar   = flag.Bool("break-barrier", false, "drop the data→head barrier (negative test)")
-		omitComp   = flag.Bool("omit-completion-barrier", false, "drop 2LC's completion barrier (negative test)")
-		breakCmt   = flag.Bool("break-commit", false, "drop the journal's records→commit barrier (negative test)")
-		omitRcp    = flag.Bool("omit-strand-recipe", false, "drop the journal's §5.3 strand recipe (negative test)")
-		integrity  = flag.Bool("integrity", false, "build with the corruption-detecting durable format (CRC frames, durable words, shadows)")
-		requireInt = flag.Bool("require-integrity", false, "fail (exit 2) on unprotected recovery metadata findings")
-		limit      = flag.Int("limit", 0, "max stored findings per kind (0 = default)")
-		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
+		wl          = flag.String("workload", "queue", "queue, journal, or pstm")
+		designStr   = flag.String("design", "cwl", "cwl or 2lc (queue only)")
+		policyStr   = flag.String("policy", "epoch", "strict|epoch|racing|strand")
+		modelStr    = flag.String("model", "", "persistency model (default: the policy's target model)")
+		allModels   = flag.Bool("all-models", false, "check under every persistency model")
+		threads     = flag.Int("threads", 2, "simulated threads")
+		inserts     = flag.Int("inserts", 16, "total inserts/transactions")
+		payloadLen  = flag.Int("payload", 64, "payload bytes (queue only)")
+		seed        = flag.Int64("seed", 1, "interleaving seed")
+		breakBar    = flag.Bool("break-barrier", false, "drop the data→head barrier (negative test)")
+		omitComp    = flag.Bool("omit-completion-barrier", false, "drop 2LC's completion barrier (negative test)")
+		breakCmt    = flag.Bool("break-commit", false, "drop the journal's records→commit barrier (negative test)")
+		omitRcp     = flag.Bool("omit-strand-recipe", false, "drop the journal's §5.3 strand recipe (negative test)")
+		integrity   = flag.Bool("integrity", false, "build with the corruption-detecting durable format (CRC frames, durable words, shadows)")
+		requireInt  = flag.Bool("require-integrity", false, "fail (exit 2) on unprotected recovery metadata findings")
+		sparse      = flag.Bool("sparse-blocks", false, "journal writes tag-word-only blocks (keeps -exhaustive state spaces tractable)")
+		exhaustiveF = flag.Bool("exhaustive", false, "enumerate and classify every reachable crash state (bounded model checking)")
+		stateBudget = flag.Int("state-budget", 0, "exhaustive checker state budget; exceeding it refuses the fixture (0 = 1<<20)")
+		parallel    = flag.Int("parallel", 0, "sweep worker count; 0 means GOMAXPROCS, 1 forces sequential")
+		limit       = flag.Int("limit", 0, "max stored findings per kind (0 = default)")
+		metricsOut  = flag.String("metrics-out", "", "write a metrics snapshot to this file (.prom/.txt: Prometheus text, else JSON)")
 	)
 	flag.Parse()
 
@@ -98,49 +217,41 @@ func main() {
 
 	man.ModelGrid(models...)
 	reg := telemetry.NewRegistry()
-	hazards := 0
-	robustness := 0
-	for i, model := range models {
-		opts := workload.Options{
-			Workload: *wl, Design: design, Policy: policy, Model: model,
+	cfg := checkConfig{
+		opts: workload.Options{
+			Workload: *wl, Design: design, Policy: policy,
 			Threads: *threads, Inserts: *inserts, Payload: *payloadLen, Seed: *seed,
 			BreakBar: *breakBar, OmitComp: *omitComp,
 			BreakCommit: *breakCmt, OmitRecipe: *omitRcp,
-			Integrity: *integrity,
+			Integrity: *integrity, SparseBlocks: *sparse,
 			DesignStr: *designStr, PolicyStr: *policyStr,
-		}
-		run, err := workload.Build(opts, nil)
-		if err != nil {
-			fatal(err)
-		}
-		if i == 0 {
-			fmt.Printf("workload : %s\n", run.Describe)
-		}
-		fmt.Printf("model    : %v\n", model)
-		rep, err := persistcheck.Check(run.Trace, core.Params{Model: model}, run.Checks, persistcheck.Config{
-			Limit:       *limit,
-			ReproParams: opts.Params(),
-			SiteLabel:   run.SiteLabel,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(rep)
-		persistcheck.Observe(reg, rep)
-		hazards += rep.Hazards()
-		robustness += rep.RobustnessFindings()
+		},
+		models:      models,
+		exhaustive:  *exhaustiveF,
+		stateBudget: *stateBudget,
+		parallel:    *parallel,
+		limit:       *limit,
+		requireInt:  *requireInt,
+		reg:         reg,
 	}
+	text, total, err := checkModels(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload : %s\n", total.describe)
+	fmt.Print(text)
 	if *metricsOut != "" {
 		if err := telemetry.WriteMetrics(reg, man, *metricsOut); err != nil {
 			fatal(err)
 		}
 	}
-	if hazards > 0 {
-		fmt.Printf("verdict  : %d persistency hazard(s) found\n", hazards)
+	switch {
+	case total.hazards > 0 || total.exHazards > 0:
+		fmt.Printf("verdict  : %d persistency hazard(s), %d hazardous crash state(s) found\n",
+			total.hazards, total.exHazards)
 		os.Exit(2)
-	}
-	if *requireInt && robustness > 0 {
-		fmt.Printf("verdict  : %d unprotected recovery metadata finding(s) (-require-integrity)\n", robustness)
+	case *requireInt && total.robustness > 0:
+		fmt.Printf("verdict  : %d unprotected recovery metadata finding(s) (-require-integrity)\n", total.robustness)
 		os.Exit(2)
 	}
 	fmt.Println("verdict  : no persistency hazards found")

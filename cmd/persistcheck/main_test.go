@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func opts(wl, design, policy string, threads, inserts int, mut func(*workload.Options)) workload.Options {
+	d, _ := workload.ParseDesign(design)
+	p, _ := workload.ParsePolicy(policy)
+	o := workload.Options{
+		Workload: wl, Design: d, Policy: p,
+		Threads: threads, Inserts: inserts, Payload: 16, Seed: 1,
+		DesignStr: design, PolicyStr: policy,
+	}
+	if mut != nil {
+		mut(&o)
+	}
+	return o
+}
+
+// TestAllModelsDeterministicAcrossParallel pins the -all-models
+// contract: the full rendered output — witness findings, repro lines,
+// exhaustive verdicts and counterexamples — is byte-identical at any
+// -parallel worker count.
+func TestAllModelsDeterministicAcrossParallel(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    workload.Options
+	}{
+		{"queue-break-barrier", opts("queue", "cwl", "epoch", 2, 6, func(o *workload.Options) { o.BreakBar = true })},
+		{"journal-break-commit", opts("journal", "cwl", "epoch", 1, 2, func(o *workload.Options) {
+			o.BreakCommit = true
+			o.SparseBlocks = true
+		})},
+		{"pstm-racing", opts("pstm", "cwl", "racing", 2, 6, nil)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var first string
+			for _, workers := range []int{1, 4, 8} {
+				cfg := checkConfig{
+					opts:       tc.o,
+					models:     core.Models,
+					exhaustive: true,
+					parallel:   workers,
+				}
+				text, total, err := checkModels(cfg)
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", workers, err)
+				}
+				if total.hazards == 0 {
+					t.Fatalf("parallel=%d: broken fixture reported no witness hazards", workers)
+				}
+				if first == "" {
+					first = text
+					continue
+				}
+				if text != first {
+					t.Errorf("output differs between -parallel 1 and %d:\n--- parallel=1\n%s\n--- parallel=%d\n%s",
+						workers, first, workers, text)
+				}
+			}
+			if !strings.Contains(first, "model    : strict\n") || !strings.Contains(first, "exhaustive:") {
+				t.Errorf("output missing expected sections:\n%s", first)
+			}
+		})
+	}
+}

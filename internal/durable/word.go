@@ -141,7 +141,7 @@ func (r WordRead) Detected() bool {
 }
 
 // Absorb merges the read's detections into a recovery report,
-// labelling notes with the word's role (e.g. "head", "committed").
+// labeling notes with the word's role (e.g. "head", "committed").
 func (r WordRead) Absorb(rep *fault.RecoveryReport, name string) {
 	rep.CRCDetected += r.CRCDetected
 	rep.CDBDetected += r.CDBDetected

@@ -254,7 +254,7 @@ func (g *Graph) FindCycle() []NodeID {
 }
 
 // DOT renders the constraint graph in Graphviz format: persists as
-// nodes (labelled with thread and address, or the manual label), edges
+// nodes (labeled with thread and address, or the manual label), edges
 // colored by class (program-order black, atomicity red, conflict
 // blue). Intended for small graphs — a few dozen inserts already make
 // a poster.

@@ -26,6 +26,16 @@ import (
 // checkpoint persist the thread observed (the strand recipe
 // Config.OmitStrandRecipe removes).
 func (m Meta) Checks() persistcheck.Annotations {
+	// The checkpoint's §5.3 contract governs only this store's own
+	// persists (its ring, table, and pointer words); scoping the region
+	// keeps the escape check exact when stores compose (the sharded kv
+	// observes many checkpoints but each obligates only its shard).
+	covers := []persistcheck.Extent{
+		{Addr: m.Journal, Size: m.JournalBytes},
+		{Addr: m.Table, Size: uint64(m.Blocks) * BlockBytes},
+		{Addr: m.CommittedHead, Size: ptrBytes(m.Integrity)},
+		{Addr: m.Checkpoint, Size: ptrBytes(m.Integrity)},
+	}
 	if !m.Integrity {
 		return persistcheck.Annotations{
 			Pubs: []persistcheck.Publication{{
@@ -40,9 +50,10 @@ func (m Meta) Checks() persistcheck.Annotations {
 				AllThreads: true,
 			}},
 			OrderAfter: []persistcheck.Region{{
-				Name: "checkpoint",
-				Addr: m.Checkpoint,
-				Size: 8,
+				Name:   "checkpoint",
+				Addr:   m.Checkpoint,
+				Size:   8,
+				Covers: covers,
 			}},
 		}
 	}
@@ -58,12 +69,14 @@ func (m Meta) Checks() persistcheck.Annotations {
 		{Addr: m.Table, Size: uint64(m.Blocks) * BlockBytes},
 		{Addr: m.BlockCRC, Size: uint64(m.Blocks) * 8},
 	}, false, true)...)
+	covers = append(covers, persistcheck.Extent{Addr: m.BlockCRC, Size: uint64(m.Blocks) * 8})
 	return persistcheck.Annotations{
 		Pubs: pubs,
 		OrderAfter: []persistcheck.Region{{
-			Name: "checkpoint",
-			Addr: m.Checkpoint,
-			Size: 8,
+			Name:   "checkpoint",
+			Addr:   m.Checkpoint,
+			Size:   8,
+			Covers: covers,
 		}},
 		Protected: []persistcheck.Extent{
 			cw.Extent(),
@@ -73,6 +86,15 @@ func (m Meta) Checks() persistcheck.Annotations {
 			{Addr: m.BlockCRC, Size: uint64(m.Blocks) * 8},
 		},
 	}
+}
+
+// ptrBytes is the persisted span of a pointer word: a bare word, or
+// the dual-copy durable layout with integrity.
+func ptrBytes(integrity bool) uint64 {
+	if integrity {
+		return durable.WordBytes
+	}
+	return 8
 }
 
 // SiteLabel maps persist addresses to the store's annotation sites,

@@ -20,6 +20,31 @@ func MakeBlock(tag uint64) []byte {
 	return b
 }
 
+// MakeSparseBlock builds a BlockBytes-sized block carrying tag in its
+// first word and zeros elsewhere. Exhaustive model checking uses sparse
+// blocks: zero stores to never-written words leave the crash image
+// unchanged, so the reachable state space stays tractable while torn
+// multi-block transactions remain visible through mismatched tags.
+func MakeSparseBlock(tag uint64) []byte {
+	b := make([]byte, BlockBytes)
+	binary.LittleEndian.PutUint64(b, tag)
+	return b
+}
+
+// SparseBlockTag extracts the tag of a block built by MakeSparseBlock
+// and reports whether the block is intact (tag word plus zeros).
+func SparseBlockTag(b []byte) (tag uint64, intact bool) {
+	if len(b) != BlockBytes {
+		return 0, false
+	}
+	for _, c := range b[8:] {
+		if c != 0 {
+			return binary.LittleEndian.Uint64(b), false
+		}
+	}
+	return binary.LittleEndian.Uint64(b), true
+}
+
 // BlockTag extracts the tag of a block built by MakeBlock and reports
 // whether the block is intact (matches MakeBlock(tag) exactly). An
 // all-zero block is intact with tag 0 (never-written NVRAM).

@@ -101,17 +101,43 @@ func MustNew(s *exec.Thread, cfg Config) *Store {
 // Meta returns the persistent layout for recovery.
 func (st *Store) Meta() Meta { return st.meta }
 
-// Checks merges every shard's recovery-critical annotations.
+// tagPubCap bounds the per-key tag publications Checks declares: the
+// publication walk is O(persists × publications), so an unbounded key
+// space would swamp the witness checker. Fixture grids sit far below
+// the cap; larger stores keep the journal-level annotations only.
+const tagPubCap = 1024
+
+// Checks merges every shard's recovery-critical annotations and, for
+// key spaces within tagPubCap, adds the store-level contract: each
+// block's key-tag word publishes the value and version words beside it
+// — recovery (DecodeBlock) trusts a nonzero tag to mean both are
+// valid. The in-place applies honor it transactionally (a tag persist
+// and the payload persists it publishes commit together, so the tag is
+// never re-persisted ahead of an unbound payload), and journal replay
+// repairs any torn apply the model admits.
 func (m Meta) Checks() persistcheck.Annotations {
 	var out persistcheck.Annotations
 	for _, sm := range m.Shards {
 		out = out.Merge(sm.Checks())
 	}
+	if m.Keys > tagPubCap {
+		return out
+	}
+	shards := uint64(len(m.Shards))
+	for key := uint64(0); key < m.Keys; key++ {
+		base := m.Shards[key%shards].Table + memory.Addr((key/shards)*journal.BlockBytes)
+		out.Pubs = append(out.Pubs, persistcheck.Publication{
+			Name: fmt.Sprintf("key%d-tag", key),
+			Word: base,
+			Data: []persistcheck.Extent{{Addr: base + 8, Size: 16}},
+		})
+	}
 	return out
 }
 
 // SiteLabel maps persist addresses to per-shard annotation-site
-// labels.
+// labels; table addresses resolve to the owning key's block
+// ("shard1/key5") rather than the undifferentiated table.
 func (m Meta) SiteLabel() func(memory.Addr) string {
 	labels := make([]func(memory.Addr) string, len(m.Shards))
 	for i, sm := range m.Shards {
@@ -121,9 +147,18 @@ func (m Meta) SiteLabel() func(memory.Addr) string {
 		// The journal labeler says "other" for addresses outside its
 		// structures, so only a specific label claims the address.
 		for i, fn := range labels {
-			if l := fn(a); l != "" && l != "other" {
-				return fmt.Sprintf("shard%d/%s", i, l)
+			l := fn(a)
+			if l == "" || l == "other" {
+				continue
 			}
+			if l == "table" {
+				block := uint64(a-m.Shards[i].Table) / journal.BlockBytes
+				key := block*uint64(len(m.Shards)) + uint64(i)
+				if key < m.Keys {
+					return fmt.Sprintf("shard%d/key%d", i, key)
+				}
+			}
+			return fmt.Sprintf("shard%d/%s", i, l)
 		}
 		return "other"
 	}

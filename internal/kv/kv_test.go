@@ -2,6 +2,7 @@ package kv
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/exec"
@@ -182,15 +183,55 @@ func TestSiteLabelAndChecks(t *testing.T) {
 	meta := st.Meta()
 	label := meta.SiteLabel()
 	for i, sm := range meta.Shards {
-		if got := label(sm.Table); got != fmt.Sprintf("shard%d/table", i) {
+		// Table addresses resolve to the owning key: shard i block b
+		// holds key b*shards+i.
+		if got := label(sm.Table); got != fmt.Sprintf("shard%d/key%d", i, i) {
 			t.Fatalf("shard %d table label %q", i, got)
+		}
+		if got := label(sm.Table + 64); got != fmt.Sprintf("shard%d/key%d", i, 3+i) {
+			t.Fatalf("shard %d block 1 label %q", i, got)
+		}
+		if got := label(sm.Journal); got != fmt.Sprintf("shard%d/journal", i) {
+			t.Fatalf("shard %d journal label %q", i, got)
 		}
 	}
 	if got := label(memory.PersistentBase - 8); got != "other" {
 		t.Fatalf("unowned address labeled %q", got)
 	}
 	checks := meta.Checks()
-	if len(checks.Pubs) == 0 {
-		t.Fatal("no merged annotations")
+	// 2 journal pubs per shard + one tag pub per key.
+	if want := 2*len(meta.Shards) + int(meta.Keys); len(checks.Pubs) != want {
+		t.Fatalf("got %d publications, want %d", len(checks.Pubs), want)
+	}
+	tags := 0
+	for _, p := range checks.Pubs {
+		if !strings.HasSuffix(p.Name, "-tag") {
+			continue
+		}
+		tags++
+		if len(p.Data) != 1 || p.Data[0].Addr != p.Word+8 || p.Data[0].Size != 16 {
+			t.Fatalf("tag pub %q publishes %+v, want the 16-byte val/ver pair beside the word", p.Name, p.Data)
+		}
+	}
+	if tags != int(meta.Keys) {
+		t.Fatalf("got %d tag publications, want %d", tags, meta.Keys)
+	}
+	// Every journal checkpoint region is scoped to its own shard.
+	for _, reg := range checks.OrderAfter {
+		if len(reg.Covers) == 0 {
+			t.Fatalf("region %q has an unscoped contract in a composed store", reg.Name)
+		}
+	}
+}
+
+func TestChecksTagPubCap(t *testing.T) {
+	m := exec.NewMachine(exec.Config{})
+	s := m.SetupThread()
+	st := MustNew(s, Config{Shards: 1, Keys: tagPubCap + 1, RingBytes: 1 << 12, Policy: journal.PolicyEpoch})
+	checks := st.Meta().Checks()
+	for _, p := range checks.Pubs {
+		if strings.HasSuffix(p.Name, "-tag") {
+			t.Fatalf("tag pub %q declared above tagPubCap", p.Name)
+		}
 	}
 }

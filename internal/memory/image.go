@@ -26,6 +26,13 @@ import (
 type Image struct {
 	words  map[Addr]uint64
 	poison map[Addr]struct{}
+
+	// Optional access hooks (nil unless Observe was called). onRead
+	// fires once per word loaded with the value returned; onWrite once
+	// per word stored. The exhaustive checker uses them to memoize
+	// recovery outcomes by the exact word set a recovery read.
+	onRead  func(a Addr, v uint64)
+	onWrite func(a Addr)
 }
 
 // NewImage returns an empty persistent-space snapshot.
@@ -46,6 +53,16 @@ func (im *Image) Clone() *Image {
 		}
 	}
 	return c
+}
+
+// Observe installs word-granular access hooks: onRead fires once per
+// word loaded (with the value returned), onWrite once per word stored.
+// Either may be nil. Hooks are not copied by Clone. Observed reads see
+// the image as recovery does — a read of a never-written word reports
+// value zero.
+func (im *Image) Observe(onRead func(a Addr, v uint64), onWrite func(a Addr)) {
+	im.onRead = onRead
+	im.onWrite = onWrite
 }
 
 // FlipBit inverts one bit of the byte at address a (bit in 0..7),
@@ -104,6 +121,9 @@ func (im *Image) WriteWord(a Addr, v uint64) {
 		panic(fmt.Sprintf("memory: Image.WriteWord to non-persistent address %#x", uint64(a)))
 	}
 	im.words[a] = v
+	if im.onWrite != nil {
+		im.onWrite(a)
+	}
 }
 
 // ReadWord loads the 8-byte value at an aligned persistent address;
@@ -112,13 +132,18 @@ func (im *Image) ReadWord(a Addr) uint64 {
 	if a%WordSize != 0 {
 		panic(fmt.Sprintf("memory: Image.ReadWord misaligned address %#x", uint64(a)))
 	}
-	return im.words[a]
+	v := im.words[a]
+	if im.onRead != nil {
+		im.onRead(a, v)
+	}
+	return v
 }
 
 // WriteBytes stores an arbitrary byte range (read-modify-write of the
 // covering words). The simulator issues only word-sized persists, but
 // recovery helpers and tests use byte granularity.
 func (im *Image) WriteBytes(a Addr, b []byte) {
+	last := Addr(1) // impossible word address (words are 8-aligned)
 	for i := 0; i < len(b); i++ {
 		addr := a + Addr(i)
 		w := AlignDown(addr, WordSize)
@@ -127,17 +152,27 @@ func (im *Image) WriteBytes(a Addr, b []byte) {
 		binary.LittleEndian.PutUint64(buf[:], word)
 		buf[addr-w] = b[i]
 		im.words[w] = binary.LittleEndian.Uint64(buf[:])
+		if im.onWrite != nil && w != last {
+			im.onWrite(w)
+			last = w
+		}
 	}
 }
 
 // ReadBytes fills b with the contents at address a.
 func (im *Image) ReadBytes(a Addr, b []byte) {
+	last := Addr(1)
 	for i := 0; i < len(b); i++ {
 		addr := a + Addr(i)
 		w := AlignDown(addr, WordSize)
+		word := im.words[w]
 		var buf [WordSize]byte
-		binary.LittleEndian.PutUint64(buf[:], im.words[w])
+		binary.LittleEndian.PutUint64(buf[:], word)
 		b[i] = buf[addr-w]
+		if im.onRead != nil && w != last {
+			im.onRead(w, word)
+			last = w
+		}
 	}
 }
 

@@ -83,6 +83,9 @@ func checkEscapes(tr *trace.Trace, g *graph.Graph, idx *graphIndex, p core.Param
 				if o[i].src < 0 || o[i].settled || o[i].reported {
 					continue
 				}
+				if !regionCovers(ann.OrderAfter[i], e) {
+					continue
+				}
 				if idx.hasPath(o[i].src, node) {
 					o[i].settled = true
 					continue
@@ -123,4 +126,18 @@ func checkEscapes(tr *trace.Trace, g *graph.Graph, idx *graphIndex, p core.Param
 			}
 		}
 	}
+}
+
+// regionCovers reports whether the persist falls under the region's
+// contract: inside one of Covers, or anywhere when Covers is empty.
+func regionCovers(reg Region, e trace.Event) bool {
+	if len(reg.Covers) == 0 {
+		return true
+	}
+	for _, x := range reg.Covers {
+		if x.Contains(e.Addr, e.Size) {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,156 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// fixture names a workload grid point by its flag spellings. wl "kv"
+// builds the sharded store (inserts = ops; readFrac, 0.75 default,
+// sets the read mix).
+type fixture struct {
+	wl, design, policy              string
+	threads, inserts, payload       int
+	seed                            int64
+	readFrac                        float64
+	breakBar, omitComp, breakCommit bool
+	omitRecipe, integrity, sparse   bool
+}
+
+// buildRun traces a workload fixture for checking and returns its
+// target model alongside. The returned Options are zero for kv
+// fixtures (they parameterize differently and seed no broken
+// variants, so nothing downstream needs their repro params).
+func buildRun(t *testing.T, fx fixture) (*workload.Run, workload.Options, core.Model) {
+	t.Helper()
+	if fx.design == "" {
+		fx.design = "cwl"
+	}
+	if fx.payload == 0 {
+		fx.payload = 16
+	}
+	if fx.seed == 0 {
+		fx.seed = 1
+	}
+	design, err := workload.ParseDesign(fx.design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := workload.ParsePolicy(fx.policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := workload.ModelForPolicy(fx.wl, policy)
+	if fx.wl == "kv" {
+		jp, err := workload.JournalPolicy(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fx.readFrac == 0 {
+			fx.readFrac = 0.75
+		}
+		run, err := workload.BuildKV(workload.KVOptions{
+			Shards: 2, Keys: 8, Threads: fx.threads, Ops: fx.inserts,
+			ReadFrac: fx.readFrac, ZipfS: 1.1, Policy: jp,
+			Integrity: fx.integrity, Seed: fx.seed, PolicyStr: fx.policy,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run, workload.Options{}, model
+	}
+	o := workload.Options{
+		Workload: fx.wl, Design: design, Policy: policy, Model: model,
+		Threads: fx.threads, Inserts: fx.inserts, Payload: fx.payload, Seed: fx.seed,
+		BreakBar: fx.breakBar, OmitComp: fx.omitComp,
+		BreakCommit: fx.breakCommit, OmitRecipe: fx.omitRecipe,
+		Integrity: fx.integrity, SparseBlocks: fx.sparse,
+		DesignStr: fx.design, PolicyStr: fx.policy,
+	}
+	run, err := workload.Build(o, nil)
+	if err != nil {
+		t.Fatalf("build %+v: %v", o, err)
+	}
+	return run, o, model
+}
+
+func check(t *testing.T, run *workload.Run, model core.Model, cfg Config) *Result {
+	t.Helper()
+	res, err := Check(run.Trace, core.Params{Model: model}, run.Recover, run.Checked, cfg)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
+}
+
+// TestAgainstBruteForce pins the reduced enumeration to ground truth:
+// on a fixture small enough to enumerate every consistent cut
+// directly, the checker's cut count, distinct-image count, per-class
+// tallies, and verdict must all match the brute-force sweep.
+func TestAgainstBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fx   fixture
+	}{
+		{"queue-epoch", fixture{wl: "queue", policy: "epoch", threads: 1, inserts: 2, payload: 8}},
+		{"queue-broken", fixture{wl: "queue", policy: "epoch", threads: 1, inserts: 2, payload: 8, breakBar: true}},
+		{"journal-strict", fixture{wl: "journal", policy: "strict", threads: 1, inserts: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run, _, model := buildRun(t, tc.fx)
+			p := core.Params{Model: model}
+			g, err := graph.Build(run.Trace, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := check(t, run, model, Config{})
+			if res.Cuts > 500000 || res.CutsSaturated {
+				t.Fatalf("fixture too large for brute force: %d cuts", res.Cuts)
+			}
+
+			// Ground truth: enumerate every cut, dedup images by
+			// signature, classify each image once.
+			images := make(map[string][]wordVal)
+			var order []string
+			cuts := 0
+			g.EnumerateCuts(func(c graph.Cut) bool {
+				cuts++
+				img := imgOfCut(g, c)
+				k := imgKey(img)
+				if _, ok := images[k]; !ok {
+					images[k] = img
+					order = append(order, k)
+				}
+				return cuts <= 1000000
+			})
+			if uint64(cuts) != res.Cuts || res.CutsSaturated {
+				t.Errorf("cuts: brute %d, checker %d (sat %v)", cuts, res.Cuts, res.CutsSaturated)
+			}
+			if len(images) != res.States {
+				t.Errorf("states: brute %d, checker %d", len(images), res.States)
+			}
+			var rec, det, haz int
+			for _, k := range order {
+				out, _ := execClassify(images[k], run.Recover, run.Checked)
+				switch out.class {
+				case ClassRecovered:
+					rec++
+				case ClassDetected:
+					det++
+				case ClassHazard:
+					haz++
+				}
+			}
+			if rec != res.Recovered || det != res.Detected || haz != res.Hazards {
+				t.Errorf("classes: brute %d/%d/%d, checker %d/%d/%d",
+					rec, det, haz, res.Recovered, res.Detected, res.Hazards)
+			}
+			t.Logf("%s: persists=%d cuts=%d states=%d signatures=%d classes=%d/%d/%d verdict=%v",
+				tc.name, res.Persists, res.Cuts, res.States, res.Signatures,
+				res.Recovered, res.Detected, res.Hazards, res.Verdict)
+		})
+	}
+}

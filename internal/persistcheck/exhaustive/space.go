@@ -1,0 +1,474 @@
+package exhaustive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/intervals"
+	"repro/internal/memory"
+	"repro/internal/sweep"
+)
+
+// bits is a fixed-width bitset over graph node IDs.
+type bits []uint64
+
+func newBits(n int) bits { return make(bits, (n+63)/64) }
+
+func (b bits) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bits) clone() bits {
+	c := make(bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// withBit returns a copy of b with bit i set.
+func (b bits) withBit(i int) bits {
+	c := b.clone()
+	c[i>>6] |= 1 << (uint(i) & 63)
+	return c
+}
+
+// withOr returns a copy of b with bit i and all of o's bits set.
+func (b bits) withOr(i int, o bits) bits {
+	c := b.clone()
+	for w := range o {
+		c[w] |= o[w]
+	}
+	c[i>>6] |= 1 << (uint(i) & 63)
+	return c
+}
+
+// coversFrom reports whether every bit in [from, n) is set.
+func (b bits) coversFrom(from, n int) bool {
+	if from >= n {
+		return true
+	}
+	w := from >> 6
+	head := ^uint64(0) << (uint(from) & 63)
+	lastW := (n - 1) >> 6
+	tail := ^uint64(0) >> (63 - (uint(n-1) & 63))
+	if w == lastW {
+		return b[w]&head&tail == head&tail
+	}
+	if b[w]&head != head {
+		return false
+	}
+	for w++; w < lastW; w++ {
+		if b[w] != ^uint64(0) {
+			return false
+		}
+	}
+	return b[lastW]&tail == tail
+}
+
+// subsetFrom reports whether b's bits in [from, n) are a subset of o's.
+func (b bits) subsetFrom(o bits, from, n int) bool {
+	if from >= n {
+		return true
+	}
+	w := from >> 6
+	head := ^uint64(0) << (uint(from) & 63)
+	if b[w]&head&^o[w] != 0 {
+		return false
+	}
+	for w++; w < len(b); w++ {
+		if b[w]&^o[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// wordVal is one written, nonzero NVRAM word. A state's image is a
+// sorted slice of these; a zero-valued word is canonically absent
+// (indistinguishable from never-written NVRAM).
+type wordVal struct {
+	addr memory.Addr
+	val  uint64
+}
+
+// wordWrite is one persist's effect on one aligned word.
+type wordWrite struct {
+	addr       memory.Addr
+	mask, bits uint64
+}
+
+// nodeWrites splits a persist event into per-word masked writes.
+func nodeWrites(g *graph.Graph, id int) []wordWrite {
+	n := g.Nodes[id]
+	if !n.Event.Kind.IsAccess() {
+		return nil
+	}
+	addr, size, val := n.Event.Addr, int(n.Event.Size), n.Event.Val
+	var out []wordWrite
+	for size > 0 {
+		w := memory.AlignDown(addr, memory.WordSize)
+		off := int(addr - w)
+		span := memory.WordSize - off
+		if span > size {
+			span = size
+		}
+		var mask uint64
+		if span == 8 {
+			mask = ^uint64(0)
+		} else {
+			mask = (1<<(8*uint(span)) - 1) << (8 * uint(off))
+		}
+		out = append(out, wordWrite{
+			addr: w,
+			mask: mask,
+			bits: (val << (8 * uint(off))) & mask,
+		})
+		addr += memory.Addr(span)
+		val >>= 8 * uint(span)
+		size -= span
+	}
+	return out
+}
+
+// applyWrites returns img with ws applied (read-modify-write at word
+// granularity). changed is false when every write was a no-op, in
+// which case img is returned unchanged (and may be shared).
+func applyWrites(img []wordVal, ws []wordWrite) (out []wordVal, changed bool) {
+	out = img
+	for _, w := range ws {
+		i := sort.Search(len(out), func(i int) bool { return out[i].addr >= w.addr })
+		var old uint64
+		if i < len(out) && out[i].addr == w.addr {
+			old = out[i].val
+		}
+		nv := (old &^ w.mask) | w.bits
+		if nv == old {
+			continue
+		}
+		switch {
+		case old == 0: // insert
+			next := make([]wordVal, len(out)+1)
+			copy(next, out[:i])
+			next[i] = wordVal{addr: w.addr, val: nv}
+			copy(next[i+1:], out[i:])
+			out = next
+		case nv == 0: // delete (canonical zero-is-absent form)
+			next := make([]wordVal, len(out)-1)
+			copy(next, out[:i])
+			copy(next[i:], out[i+1:])
+			out = next
+		default: // replace
+			next := make([]wordVal, len(out))
+			copy(next, out)
+			next[i].val = nv
+			out = next
+		}
+		changed = true
+	}
+	return out, changed
+}
+
+// lookupWord reads one aligned word from a canonical image.
+func lookupWord(img []wordVal, a memory.Addr) uint64 {
+	i := sort.Search(len(img), func(i int) bool { return img[i].addr >= a })
+	if i < len(img) && img[i].addr == a {
+		return img[i].val
+	}
+	return 0
+}
+
+// imgKey serializes a canonical image for map lookup.
+func imgKey(img []wordVal) string {
+	b := make([]byte, 16*len(img))
+	for i, wv := range img {
+		binary.LittleEndian.PutUint64(b[16*i:], uint64(wv.addr))
+		binary.LittleEndian.PutUint64(b[16*i+8:], wv.val)
+	}
+	return string(b)
+}
+
+// state is one search state after deciding nodes [0, t): the partial
+// image those decisions built, the future nodes an excluded ancestor
+// disqualifies, and a representative decision vector.
+type state struct {
+	img    []wordVal
+	ikey   string
+	killed bits
+	dec    bits
+	final  bool
+}
+
+// final is one distinct reachable image with a representative cut.
+type final struct {
+	img []wordVal
+	dec bits
+}
+
+// space is the fully enumerated, reduced state space.
+type space struct {
+	finals   []*final // distinct reachable images, discovery order
+	cuts     uint64   // exact total consistent cuts (saturating)
+	cutsSat  bool
+	peakLive int
+	subsumed uint64
+	// touched is the written persistent address range, tracked as
+	// coalesced intervals (stats + sanity: every image word must fall
+	// inside it).
+	touched *intervals.Set[memory.Addr]
+}
+
+// parallelThreshold is the live-state count above which child
+// expansion fans out through the sweep engine.
+const parallelThreshold = 2048
+
+// enumerate walks the graph's nodes in trace (topological) order,
+// branching each undecided node into exclude/include, deduplicating
+// states by (image, killed-set) and folding dominated states into
+// their antichain maxima. See the package comment for the soundness
+// argument.
+func enumerate(g *graph.Graph, cfg Config) (*space, error) {
+	n := g.Len()
+	budget := cfg.budget()
+
+	// Transitive descendant bitsets: desc[i] = every node reachable
+	// from i by forward edges. Edges point backward (In), so walk IDs
+	// descending and fold each node into its predecessors.
+	desc := make([]bits, n)
+	for i := 0; i < n; i++ {
+		desc[i] = newBits(n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for _, e := range g.Nodes[i].In {
+			from := int(e.From)
+			d := desc[from]
+			d[i>>6] |= 1 << (uint(i) & 63)
+			for w := range desc[i] {
+				d[w] |= desc[i][w]
+			}
+		}
+	}
+
+	writes := make([][]wordWrite, n)
+	sp := &space{touched: intervals.NewSet[memory.Addr]()}
+	for i := 0; i < n; i++ {
+		writes[i] = nodeWrites(g, i)
+		for _, w := range writes[i] {
+			sp.touched.Insert(w.addr, w.addr+memory.WordSize)
+		}
+	}
+
+	finalIdx := make(map[string]int)
+	addFinal := func(s *state) {
+		if _, ok := finalIdx[s.ikey]; ok {
+			return
+		}
+		finalIdx[s.ikey] = len(sp.finals)
+		sp.finals = append(sp.finals, &final{img: s.img, dec: s.dec})
+	}
+
+	live := []*state{{killed: newBits(n), dec: newBits(n), ikey: ""}}
+	for t := 0; t < n; t++ {
+		// Expand: each live state yields one child (node t already
+		// killed) or two (exclude / include). Expansion is pure, so it
+		// fans out through sweep with a deterministic in-order merge.
+		expand := func(s *state) [2]*state {
+			if s.killed.get(t) {
+				// Forced exclusion: descendants of t are already in
+				// the killed set (killed is transitively closed).
+				s.final = s.killed.coversFrom(t+1, n)
+				return [2]*state{s, nil}
+			}
+			ex := &state{
+				img: s.img, ikey: s.ikey,
+				killed: s.killed.withOr(t, desc[t]),
+				dec:    s.dec,
+			}
+			ex.final = ex.killed.coversFrom(t+1, n)
+			in := &state{
+				killed: s.killed,
+				dec:    s.dec.withBit(t),
+			}
+			if img, changed := applyWrites(s.img, writes[t]); changed {
+				in.img, in.ikey = img, imgKey(img)
+			} else {
+				in.img, in.ikey = s.img, s.ikey
+			}
+			in.final = in.killed.coversFrom(t+1, n)
+			return [2]*state{ex, in}
+		}
+
+		children := make([][2]*state, len(live))
+		if len(live) >= parallelThreshold && cfg.Sweep.Workers() > 1 {
+			scfg := cfg.Sweep
+			scfg.Name = "exhaustive-expand"
+			err := sweep.Run(len(live), scfg, func(i int) ([2]*state, error) {
+				return expand(live[i]), nil
+			}, func(i int, v [2]*state) error {
+				children[i] = v
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			for i, s := range live {
+				children[i] = expand(s)
+			}
+		}
+
+		// Merge: dedup by (image, killed suffix), fold dominated
+		// states into their dominators. Buckets key on the image;
+		// each bucket is an antichain of killed-sets.
+		next := live[:0:0]
+		buckets := make(map[string][]int, len(children))
+		emit := func(s *state) {
+			if s.final {
+				addFinal(s)
+				return
+			}
+			idxs := buckets[s.ikey]
+			for _, i := range idxs {
+				e := next[i]
+				if e == nil {
+					continue
+				}
+				// e dominates s: e's killed-set is a subset (e keeps
+				// every option s has), so s explores a subset of e's
+				// reachable images.
+				if e.killed.subsetFrom(s.killed, t+1, n) {
+					sp.subsumed++
+					return
+				}
+				// s dominates e.
+				if s.killed.subsetFrom(e.killed, t+1, n) {
+					sp.subsumed++
+					next[i] = nil
+				}
+			}
+			buckets[s.ikey] = append(idxs, len(next))
+			next = append(next, s)
+		}
+		for _, pair := range children {
+			emit(pair[0])
+			if pair[1] != nil {
+				emit(pair[1])
+			}
+		}
+		// Compact dominated slots.
+		live = live[:0]
+		for _, s := range next {
+			if s != nil {
+				live = append(live, s)
+			}
+		}
+		if len(live) > sp.peakLive {
+			sp.peakLive = len(live)
+		}
+		if len(live)+len(sp.finals) > budget {
+			return nil, fmt.Errorf("exhaustive: state budget %d exceeded at node %d/%d (%d live + %d final states); shrink the fixture or raise Budget",
+				budget, t+1, n, len(live), len(sp.finals))
+		}
+	}
+	for _, s := range live {
+		addFinal(s)
+	}
+
+	sp.cuts, sp.cutsSat = countCuts(g, desc, budget)
+	return sp, nil
+}
+
+// countCuts computes the exact number of consistent cuts with a
+// dynamic program over killed-set suffixes: states with identical
+// killed suffixes have identical decision subtrees, so their path
+// counts sum exactly (unlike the image enumeration's antichain
+// folding, which redirects paths across states with different
+// futures). Saturates at MaxUint64 — or when the DP's own state
+// count exceeds budget, in which case the true count is at least the
+// returned value.
+func countCuts(g *graph.Graph, desc []bits, budget int) (uint64, bool) {
+	n := g.Len()
+	type centry struct {
+		killed bits
+		count  uint64
+	}
+	sat := false
+	add := func(a, b uint64) uint64 {
+		sum := a + b
+		if sum < a {
+			sat = true
+			return math.MaxUint64
+		}
+		return sum
+	}
+	suffixKey := func(k bits, from int) string {
+		b := make([]byte, 8*len(k))
+		for w, v := range k {
+			if w == from>>6 {
+				v &= ^uint64(0) << (uint(from) & 63)
+			} else if w < from>>6 {
+				v = 0
+			}
+			binary.LittleEndian.PutUint64(b[8*w:], v)
+		}
+		return string(b)
+	}
+	live := []*centry{{killed: newBits(n), count: 1}}
+	for t := 0; t < n; t++ {
+		next := make([]*centry, 0, len(live))
+		idx := make(map[string]int, len(live))
+		emit := func(k bits, count uint64) {
+			key := suffixKey(k, t+1)
+			if i, ok := idx[key]; ok {
+				next[i].count = add(next[i].count, count)
+				return
+			}
+			idx[key] = len(next)
+			next = append(next, &centry{killed: k, count: count})
+		}
+		for _, s := range live {
+			if s.killed.get(t) {
+				emit(s.killed, s.count)
+				continue
+			}
+			emit(s.killed.withOr(t, desc[t]), s.count)
+			emit(s.killed, s.count)
+		}
+		live = next
+		if len(live) > budget {
+			// Too wide to count exactly; report the partial sum as a
+			// saturated lower bound.
+			total := uint64(0)
+			for _, s := range live {
+				total = add(total, s.count)
+			}
+			return total, true
+		}
+	}
+	total := uint64(0)
+	for _, s := range live {
+		total = add(total, s.count)
+	}
+	return total, sat
+}
+
+// cutOf converts a decision bitset into a graph.Cut.
+func cutOf(dec bits, n int) graph.Cut {
+	c := graph.Cut{Included: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		c.Included[i] = dec.get(i)
+	}
+	return c
+}
+
+// imgOfCut materializes a cut into canonical image form by replaying
+// its included persists in trace order.
+func imgOfCut(g *graph.Graph, c graph.Cut) []wordVal {
+	var img []wordVal
+	for i := range g.Nodes {
+		if !c.Included[i] {
+			continue
+		}
+		img, _ = applyWrites(img, nodeWrites(g, i))
+	}
+	return img
+}

@@ -102,6 +102,14 @@ type Region struct {
 	Name string
 	Addr memory.Addr
 	Size uint64
+	// Covers optionally scopes the contract to persists falling inside
+	// the listed extents: only those must be ordered after the observed
+	// region persist. Empty means every persist the thread issues (the
+	// single-structure reading). Composed stores (the sharded kv) scope
+	// each shard's region to that shard's own persistent extents, so a
+	// thread that observed one shard's checkpoint is not obligated for
+	// persists into an unrelated shard.
+	Covers []Extent
 }
 
 // Annotations is the application-declared recovery metadata the checker

@@ -2,6 +2,7 @@ package persistcheck
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -152,6 +153,44 @@ func (r *Report) add(f Finding, limit int) {
 
 func (r *Report) skip(format string, args ...any) {
 	r.Skipped = append(r.Skipped, fmt.Sprintf(format, args...))
+}
+
+// SortFindings reorders stored findings into a canonical order — by
+// attribution site, then divergent-cut key, then kind, then trace
+// position — instead of analysis discovery order. CLIs sort before
+// printing so multi-model output stays byte-identical across sweep
+// worker counts; package callers keep analysis order unless they ask.
+func (r *Report) SortFindings() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if c := compareCuts(a.Cut, b.Cut); c != 0 {
+			return c < 0
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// compareCuts orders cuts by size, then lexicographically on the
+// inclusion vector (excluded before included).
+func compareCuts(a, b graph.Cut) int {
+	if len(a.Included) != len(b.Included) {
+		return len(a.Included) - len(b.Included)
+	}
+	for i := range a.Included {
+		if a.Included[i] != b.Included[i] {
+			if b.Included[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // Hazards returns the number of hazard-severity findings (total, not

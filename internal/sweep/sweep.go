@@ -14,7 +14,7 @@
 //
 // Error semantics mirror a sequential loop: the first error (by grid
 // index, not completion time) wins, merging stops before the erroring
-// index, and in-flight work is cancelled — workers finish their
+// index, and in-flight work is canceled — workers finish their
 // current item and exit.
 package sweep
 
@@ -100,7 +100,7 @@ type result[T any] struct {
 // depend on the results of other grid items; merge needs no locking.
 // A nil merge discards results. Run returns the lowest-index error
 // from fn or merge (identical to what a sequential loop would return
-// for independent items), cancelling remaining work on failure.
+// for independent items), canceling remaining work on failure.
 func Run[T any](n int, cfg Config, fn func(i int) (T, error), merge func(i int, v T) error) error {
 	if n <= 0 {
 		return nil

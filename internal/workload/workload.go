@@ -48,6 +48,13 @@ type Options struct {
 	// durable format (internal/durable): CRC-framed records, dual-copy
 	// pointer words, shadow checksums.
 	Integrity bool
+	// SparseBlocks makes the journal workload write tag-word-only
+	// blocks (zeros elsewhere) instead of fully patterned ones. The
+	// exhaustive checker needs this: a patterned 64-byte block is ~8
+	// mutually unordered nonzero persists per block under epoch and
+	// strand models, an irreducibly exponential image space, while
+	// sparse blocks collapse to one image-changing persist each.
+	SparseBlocks bool
 
 	// DesignStr/PolicyStr preserve the flag spellings for repro params.
 	DesignStr, PolicyStr string
@@ -99,6 +106,9 @@ func (o Options) Params() []fault.Param {
 	if o.Integrity {
 		ps = append(ps, fault.Param{Key: "integrity", Value: "1"})
 	}
+	if o.SparseBlocks {
+		ps = append(ps, fault.Param{Key: "sparse-blocks", Value: "1"})
+	}
 	return ps
 }
 
@@ -138,13 +148,14 @@ func FromScenario(s *fault.Scenario) (Options, error) {
 	o := Options{
 		Workload: get("workload", "queue"), Design: design, Policy: policy, Model: model,
 		Threads: atoi("threads", "2"), Inserts: atoi("inserts", "16"), Payload: atoi("payload", "64"),
-		Seed:        seed,
-		BreakBar:    get("break-barrier", "") == "1",
-		OmitComp:    get("omit-completion-barrier", "") == "1",
-		BreakCommit: get("break-commit", "") == "1",
-		OmitRecipe:  get("omit-strand-recipe", "") == "1",
-		Integrity:   get("integrity", "") == "1",
-		DesignStr:   get("design", "cwl"), PolicyStr: get("policy", "epoch"),
+		Seed:         seed,
+		BreakBar:     get("break-barrier", "") == "1",
+		OmitComp:     get("omit-completion-barrier", "") == "1",
+		BreakCommit:  get("break-commit", "") == "1",
+		OmitRecipe:   get("omit-strand-recipe", "") == "1",
+		Integrity:    get("integrity", "") == "1",
+		SparseBlocks: get("sparse-blocks", "") == "1",
+		DesignStr:    get("design", "cwl"), PolicyStr: get("policy", "epoch"),
 	}
 	return o, firstErr
 }
@@ -253,13 +264,19 @@ func setup(o Options, m *exec.Machine) (*Run, func(*exec.Thread), error) {
 		}
 		meta := st.Meta()
 		per := o.Inserts / o.Threads
+		mkBlock := journal.MakeBlock
+		tagOf := journal.BlockTag
+		if o.SparseBlocks {
+			mkBlock = journal.MakeSparseBlock
+			tagOf = journal.SparseBlockTag
+		}
 		body = func(t *exec.Thread) {
 			g := t.TID()
 			for i := 0; i < per; i++ {
 				tag := uint64(t.TID()*100000 + i + 1)
 				st.Update(t, []journal.Write{
-					{Block: 2 * g, Data: journal.MakeBlock(tag)},
-					{Block: 2*g + 1, Data: journal.MakeBlock(tag)},
+					{Block: 2 * g, Data: mkBlock(tag)},
+					{Block: 2*g + 1, Data: mkBlock(tag)},
 				})
 			}
 		}
@@ -268,14 +285,14 @@ func setup(o Options, m *exec.Machine) (*Run, func(*exec.Thread), error) {
 			if err != nil {
 				return err
 			}
-			return CheckJournalPairs(state, o.Threads)
+			return CheckJournalPairsBy(state, o.Threads, tagOf)
 		}
 		run.Checked = func(im *memory.Image) (fault.RecoveryReport, error) {
 			state, rep, err := journal.RecoverSalvage(im, meta)
 			if err != nil {
 				return rep, err
 			}
-			return rep, CheckJournalPairs(state, o.Threads)
+			return rep, CheckJournalPairsBy(state, o.Threads, tagOf)
 		}
 		run.Checks = meta.Checks()
 		run.SiteLabel = meta.SiteLabel()
@@ -321,6 +338,9 @@ func setup(o Options, m *exec.Machine) (*Run, func(*exec.Thread), error) {
 	if o.Integrity {
 		run.Describe += ", integrity format"
 	}
+	if o.SparseBlocks {
+		run.Describe += ", sparse blocks"
+	}
 	return run, body, nil
 }
 
@@ -344,9 +364,15 @@ func CheckQueueEntries(entries []queue.Entry, expect map[string]bool) error {
 // block pair was updated atomically, so tags match and blocks are
 // intact.
 func CheckJournalPairs(state *journal.State, threads int) error {
+	return CheckJournalPairsBy(state, threads, journal.BlockTag)
+}
+
+// CheckJournalPairsBy is CheckJournalPairs with an explicit tag
+// extractor, for workloads writing sparse blocks.
+func CheckJournalPairsBy(state *journal.State, threads int, tagOf func([]byte) (uint64, bool)) error {
 	for g := 0; g < threads; g++ {
-		t0, ok0 := journal.BlockTag(state.Block(2 * g))
-		t1, ok1 := journal.BlockTag(state.Block(2*g + 1))
+		t0, ok0 := tagOf(state.Block(2 * g))
+		t1, ok1 := tagOf(state.Block(2*g + 1))
 		if !ok0 || !ok1 || t0 != t1 {
 			return fmt.Errorf("group %d torn (tags %d/%d intact %v/%v)", g, t0, t1, ok0, ok1)
 		}
